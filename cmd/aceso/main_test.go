@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binPath string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "aceso-cli")
+	if err != nil {
+		os.Exit(1)
+	}
+	binPath = filepath.Join(dir, "aceso")
+	if out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput(); err != nil {
+		os.Stderr.Write(out)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func run(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	out, err := exec.Command(binPath, args...).CombinedOutput()
+	return string(out), err
+}
+
+func TestCLISearch(t *testing.T) {
+	out, err := run(t, "search", "-model", "gpt3", "-size", "350M", "-gpus", "4", "-budget", "300ms")
+	if err != nil {
+		t.Fatalf("search failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"best configuration", "performance model", "simulated execution", "top candidates"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIEstimate(t *testing.T) {
+	out, err := run(t, "estimate", "-model", "gpt3", "-size", "350M", "-gpus", "4",
+		"-pp", "2", "-tp", "2", "-dp", "1", "-mbs", "2")
+	if err != nil {
+		t.Fatalf("estimate failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "feasible=true") {
+		t.Errorf("estimate output:\n%s", out)
+	}
+	// Mismatched parallelism product must be rejected.
+	out, err = run(t, "estimate", "-model", "gpt3", "-size", "350M", "-gpus", "4", "-pp", "1", "-tp", "1", "-dp", "1")
+	if err == nil {
+		t.Errorf("tp·dp·pp != gpus accepted:\n%s", out)
+	}
+}
+
+func TestCLIBaseline(t *testing.T) {
+	out, err := run(t, "baseline", "-model", "gpt3", "-size", "350M", "-gpus", "4")
+	if err != nil {
+		t.Fatalf("baseline failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "Megatron-LM grid") || !strings.Contains(out, "Alpa-like solver") {
+		t.Errorf("baseline output:\n%s", out)
+	}
+}
+
+func TestCLIProfileAndReuse(t *testing.T) {
+	db := filepath.Join(t.TempDir(), "db.json")
+	out, err := run(t, "profile", "-model", "gpt3", "-size", "350M", "-gpus", "4", "-o", db)
+	if err != nil {
+		t.Fatalf("profile failed: %v\n%s", err, out)
+	}
+	if _, err := os.Stat(db); err != nil {
+		t.Fatalf("database not written: %v", err)
+	}
+	out, err = run(t, "search", "-model", "gpt3", "-size", "350M", "-gpus", "4",
+		"-budget", "200ms", "-db", db)
+	if err != nil {
+		t.Fatalf("search -db failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "loaded profiling database") {
+		t.Errorf("database not loaded:\n%s", out)
+	}
+}
+
+func TestCLIDeepModelAndErrors(t *testing.T) {
+	out, err := run(t, "search", "-model", "deep-16", "-gpus", "4", "-budget", "200ms")
+	if err != nil {
+		t.Fatalf("deep model search failed: %v\n%s", err, out)
+	}
+	if out, err := run(t, "search", "-model", "nonsense"); err == nil {
+		t.Errorf("unknown model accepted:\n%s", out)
+	}
+	if out, err := run(t, "frobnicate"); err == nil {
+		t.Errorf("unknown subcommand accepted:\n%s", out)
+	}
+	if out, err := run(t); err == nil {
+		t.Errorf("missing subcommand accepted:\n%s", out)
+	}
+}

@@ -1,0 +1,191 @@
+// Command acesobench regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	acesobench [-budget 2s] [-sizes 5] [-seed 1] [targets...]
+//
+// Targets: fig1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
+// fig16 tables cases ablations, or "all" (default).
+// fig7/fig8/fig15/fig16/tables share one end-to-end run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"aceso/internal/exps"
+)
+
+func main() {
+	budget := flag.Duration("budget", 2*time.Second, "per-search time budget (the paper used 200s)")
+	sizes := flag.Int("sizes", 5, "how many of the 5 model sizes to run (1-5)")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
+	flag.Parse()
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "acesobench:", err)
+			os.Exit(1)
+		}
+	}
+
+	set := exps.Settings{Budget: *budget, Sizes: *sizes, Seed: *seed}
+	targets := flag.Args()
+	if len(targets) == 0 {
+		targets = []string{"all"}
+	}
+	want := map[string]bool{}
+	for _, t := range targets {
+		want[t] = true
+	}
+	all := want["all"]
+	sel := func(names ...string) bool {
+		if all {
+			return true
+		}
+		for _, n := range names {
+			if want[n] {
+				return true
+			}
+		}
+		return false
+	}
+
+	w := os.Stdout
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "acesobench: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	toCSV := func(name string, write func(f io.Writer) error) {
+		if *csvDir == "" {
+			return
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		if err != nil {
+			fail(name, err)
+		}
+		defer f.Close()
+		if err := write(f); err != nil {
+			fail(name, err)
+		}
+	}
+
+	if sel("fig1") {
+		rows := exps.Fig1(nil)
+		exps.RenderFig1(w, rows)
+		fmt.Fprintln(w)
+		toCSV("fig1.csv", func(f io.Writer) error { return exps.WriteFig1CSV(f, rows) })
+	}
+
+	if sel("fig7", "fig8", "fig15", "fig16", "tables") {
+		fmt.Fprintf(w, "running end-to-end comparison (budget %v/search, %d sizes)...\n", *budget, set.Sizes)
+		e2e, err := exps.RunE2E(set, nil)
+		if err != nil {
+			fail("e2e", err)
+		}
+		if sel("fig7") {
+			e2e.RenderFig7(w)
+			fmt.Fprintln(w)
+		}
+		if sel("fig8") {
+			e2e.RenderFig8(w)
+			fmt.Fprintln(w)
+		}
+		if sel("tables") {
+			e2e.RenderTables(w)
+			fmt.Fprintln(w)
+		}
+		if sel("fig15") {
+			e2e.RenderFig15(w)
+			fmt.Fprintln(w)
+		}
+		if sel("fig16") {
+			e2e.RenderFig16(w)
+			fmt.Fprintln(w)
+		}
+		toCSV("e2e.csv", e2e.WriteCSV)
+	}
+
+	if sel("fig9") {
+		rows, err := exps.Fig9(set, nil)
+		if err != nil {
+			fail("fig9", err)
+		}
+		exps.RenderFig9(w, rows)
+		fmt.Fprintln(w)
+		toCSV("fig9.csv", func(f io.Writer) error { return exps.WriteFig9CSV(f, rows) })
+	}
+
+	if sel("fig10") {
+		rows, err := exps.Fig10(set)
+		if err != nil {
+			fail("fig10", err)
+		}
+		exps.RenderFig10(w, rows)
+		fmt.Fprintln(w)
+		toCSV("fig10.csv", func(f io.Writer) error { return exps.WriteFig10CSV(f, rows) })
+	}
+
+	if sel("fig11") {
+		r, err := exps.Fig11(set)
+		if err != nil {
+			fail("fig11", err)
+		}
+		exps.RenderFig11(w, r)
+		fmt.Fprintln(w)
+		toCSV("fig11.csv", func(f io.Writer) error { return exps.WriteFig11CSV(f, r) })
+	}
+
+	if sel("fig12") {
+		curves, err := exps.Fig12(set)
+		if err != nil {
+			fail("fig12", err)
+		}
+		exps.RenderCurves(w, "Figure 12 (Exp#5): convergence with vs without Heuristic-2", curves)
+		fmt.Fprintln(w)
+		toCSV("fig12.csv", func(f io.Writer) error { return exps.WriteCurvesCSV(f, curves) })
+	}
+
+	if sel("fig13") {
+		curves, err := exps.Fig13(set)
+		if err != nil {
+			fail("fig13", err)
+		}
+		exps.RenderCurves(w, "Figure 13 (Exp#6): convergence under different MaxHops", curves)
+		fmt.Fprintln(w)
+		toCSV("fig13.csv", func(f io.Writer) error { return exps.WriteCurvesCSV(f, curves) })
+	}
+
+	if sel("fig14") {
+		curves, err := exps.Fig14(set)
+		if err != nil {
+			fail("fig14", err)
+		}
+		exps.RenderCurves(w, "Figure 14 (Exp#7): robustness to the initial configuration", curves)
+		fmt.Fprintln(w)
+		toCSV("fig14.csv", func(f io.Writer) error { return exps.WriteCurvesCSV(f, curves) })
+	}
+
+	if sel("ablations") {
+		rows, memRatio, err := exps.Ablations(set)
+		if err != nil {
+			fail("ablations", err)
+		}
+		exps.RenderAblations(w, rows, memRatio)
+		fmt.Fprintln(w)
+	}
+
+	if sel("cases") {
+		cases, err := exps.Cases(set)
+		if err != nil {
+			fail("cases", err)
+		}
+		exps.RenderCases(w, cases)
+		fmt.Fprintln(w)
+	}
+}

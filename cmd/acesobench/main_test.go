@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binPath string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "acesobench-cli")
+	if err != nil {
+		os.Exit(1)
+	}
+	binPath = filepath.Join(dir, "acesobench")
+	if out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput(); err != nil {
+		os.Stderr.Write(out)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func TestBenchFig1(t *testing.T) {
+	out, err := exec.Command(binPath, "fig1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("fig1 failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Figure 1") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestBenchFig7WithCSV(t *testing.T) {
+	dir := t.TempDir()
+	out, err := exec.Command(binPath,
+		"-budget", "200ms", "-sizes", "1", "-csv", dir, "fig7", "cases").CombinedOutput()
+	if err != nil {
+		t.Fatalf("fig7 failed: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "Figure 7") || !strings.Contains(s, "case studies") {
+		t.Errorf("output:\n%s", s)
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "e2e.csv"))
+	if err != nil {
+		t.Fatalf("e2e.csv missing: %v", err)
+	}
+	if !strings.Contains(string(csv), "family,size,gpus") {
+		t.Errorf("csv header missing:\n%s", csv)
+	}
+}
+
+func TestBenchFig10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig10's DP comparator is deliberately expensive")
+	}
+	out, err := exec.Command(binPath, "-budget", "200ms", "fig10").CombinedOutput()
+	if err != nil {
+		t.Fatalf("fig10 failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Figure 10") {
+		t.Errorf("output:\n%s", out)
+	}
+}

@@ -1,0 +1,73 @@
+package aceso_test
+
+import (
+	"fmt"
+	"time"
+
+	"aceso"
+)
+
+// ExampleSearch searches a parallel configuration for GPT-3 350M on
+// four simulated V100s and reports whether the result fits in memory.
+func ExampleSearch() {
+	g, err := aceso.GPT3("350M")
+	if err != nil {
+		panic(err)
+	}
+	cl := aceso.DGX1V100(1).Restrict(4)
+	res, err := aceso.Search(g, cl, aceso.Options{
+		TimeBudget: 500 * time.Millisecond,
+		Seed:       1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("feasible:", res.Best.Estimate.Feasible)
+	fmt.Println("within memory:", res.Best.Estimate.PeakMem <= cl.MemoryBytes)
+	// Output:
+	// feasible: true
+	// within memory: true
+}
+
+// ExampleSimulate executes a manual 2-stage configuration in the
+// discrete-event 1F1B runtime simulator.
+func ExampleSimulate() {
+	g, err := aceso.GPT3("350M")
+	if err != nil {
+		panic(err)
+	}
+	cl := aceso.DGX1V100(1).Restrict(4)
+	cfg, err := aceso.Balanced(g, 4, 2, 1)
+	if err != nil {
+		panic(err)
+	}
+	sim, err := aceso.Simulate(g, cl, cfg, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("trained an iteration:", sim.IterTime > 0)
+	fmt.Println("OOM:", sim.OOM)
+	// Output:
+	// trained an iteration: true
+	// OOM: false
+}
+
+// ExampleEstimateConfig predicts iteration time and memory for a
+// configuration without executing it.
+func ExampleEstimateConfig() {
+	g, err := aceso.GPT3("350M")
+	if err != nil {
+		panic(err)
+	}
+	cl := aceso.DGX1V100(1).Restrict(4)
+	cfg, err := aceso.Balanced(g, 4, 4, 1)
+	if err != nil {
+		panic(err)
+	}
+	est := aceso.EstimateConfig(g, cl, cfg, 1)
+	fmt.Println("stages:", len(est.Stages))
+	fmt.Println("positive time:", est.IterTime > 0)
+	// Output:
+	// stages: 4
+	// positive time: true
+}

@@ -1,0 +1,57 @@
+// Elastic recluster: the shared-cluster scenario motivating cheap
+// reconfiguration (§1: "search overhead can be a huge burden when
+// quick reconfiguration is needed, e.g., in a shared cluster with
+// frequent changes in resources").
+//
+// A GPT-3 2.6B training job starts on 16 GPUs; a node is preempted,
+// leaving 8; later the node returns. After every resource change the
+// job re-searches in ~a second and keeps training with a configuration
+// tailored to the new cluster.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"aceso"
+)
+
+func main() {
+	g, err := aceso.GPT3("2.6B")
+	if err != nil {
+		log.Fatal(err)
+	}
+	events := []struct {
+		what string
+		gpus int
+	}{
+		{"initial allocation", 16},
+		{"node preempted", 8},
+		{"node restored", 16},
+	}
+	var prev *aceso.Config
+	for _, ev := range events {
+		cl := aceso.DGX1V100(4).Restrict(ev.gpus)
+		opts := aceso.Options{TimeBudget: 1500 * time.Millisecond, Seed: 1}
+		if prev != nil {
+			// Warm start: project the previous plan onto the resized
+			// cluster and search outward from it.
+			opts.Initializer = aceso.WarmStart(prev)
+		}
+		start := time.Now()
+		res, err := aceso.Search(g, cl, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim, err := aceso.Simulate(g, cl, res.Best.Config, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prev = res.Best.Config
+		fmt.Printf("%-20s %2d GPUs: re-searched in %v → %d stages, mbs %d, %.2f s/iter (%.0f samples/s)\n",
+			ev.what, ev.gpus, time.Since(start).Round(time.Millisecond),
+			res.Best.Config.NumStages(), res.Best.Config.MicroBatch,
+			sim.IterTime, float64(g.GlobalBatch)/sim.IterTime)
+	}
+}

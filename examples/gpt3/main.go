@@ -1,0 +1,98 @@
+// GPT-3 sweep: compare Aceso against a Megatron-LM-style global grid
+// search across model sizes — a miniature of the paper's Figure 7.
+//
+// For each size, both searches run against the same performance model
+// and the found configurations are executed in the runtime simulator;
+// the table reports simulated iteration times and Aceso's speedup.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"aceso"
+)
+
+func main() {
+	cases := []struct {
+		size string
+		gpus int
+	}{
+		{"350M", 4},
+		{"1.3B", 4},
+		{"2.6B", 8},
+	}
+	fmt.Printf("%-6s %-5s %-22s %-22s %s\n", "size", "GPUs", "grid search (s/iter)", "Aceso (s/iter)", "speedup")
+	for _, tc := range cases {
+		g, err := aceso.GPT3(tc.size)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cl := aceso.DGX1V100(4).Restrict(tc.gpus)
+
+		grid := gridSearch(g, cl)
+		res, err := aceso.Search(g, cl, aceso.Options{TimeBudget: 2 * time.Second, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim, err := aceso.Simulate(g, cl, res.Best.Config, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		speedup := "-"
+		if grid > 0 {
+			speedup = fmt.Sprintf("%.2fx", grid/sim.IterTime)
+		}
+		fmt.Printf("%-6s %-5d %-22.2f %-22.2f %s\n", tc.size, tc.gpus, grid, sim.IterTime, speedup)
+	}
+}
+
+// gridSearch emulates Megatron-LM's global configuration space with
+// the public API: every (pp, tp, dp, mbs, recompute) combination where
+// all layers share the same settings.
+func gridSearch(g *aceso.Graph, cl aceso.Cluster) float64 {
+	devices := cl.TotalDevices()
+	best := 0.0
+	var bestCfg *aceso.Config
+	for pp := 1; pp <= devices; pp *= 2 {
+		per := devices / pp
+		for tp := 1; tp <= per; tp *= 2 {
+			dp := per / tp
+			for mbs := dp; mbs <= 32; mbs *= 2 {
+				if mbs == 0 || g.GlobalBatch%mbs != 0 || mbs%dp != 0 {
+					continue
+				}
+				for _, rc := range []bool{false, true} {
+					cfg, err := aceso.Balanced(g, devices, pp, mbs)
+					if err != nil {
+						continue
+					}
+					for i := range cfg.Stages {
+						for j := range cfg.Stages[i].Ops {
+							cfg.Stages[i].Ops[j] = aceso.OpSetting{TP: tp, DP: dp, Recompute: rc}
+						}
+					}
+					if cfg.Validate(g, devices) != nil {
+						continue
+					}
+					est := aceso.EstimateConfig(g, cl, cfg, 1)
+					if !est.Feasible {
+						continue
+					}
+					if bestCfg == nil || est.IterTime < best {
+						best, bestCfg = est.IterTime, cfg
+					}
+				}
+			}
+		}
+	}
+	if bestCfg == nil {
+		return 0
+	}
+	sim, err := aceso.Simulate(g, cl, bestCfg, 1)
+	if err != nil {
+		return 0
+	}
+	return sim.IterTime
+}

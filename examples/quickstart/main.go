@@ -1,0 +1,51 @@
+// Quickstart: search a parallel-training configuration for GPT-3 1.3B
+// on 4 V100 GPUs and inspect the result.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"aceso"
+)
+
+func main() {
+	// 1. Build the workload: GPT-3 1.3B (24 transformer layers at
+	//    operator granularity, batch 1024, sequence length 2048).
+	g, err := aceso.GPT3("1.3B")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model %s: %d operators, %.2fB parameters\n",
+		g.Name, len(g.Ops), g.TotalParams()/1e9)
+
+	// 2. Describe the hardware: 4 V100-32GB GPUs in one server.
+	cl := aceso.DGX1V100(1).Restrict(4)
+
+	// 3. Search. Aceso iteratively finds the bottleneck pipeline stage
+	//    and applies the reconfiguration primitive that alleviates it,
+	//    in parallel over candidate pipeline depths.
+	res, err := aceso.Search(g, cl, aceso.Options{
+		TimeBudget: 2 * time.Second,
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("explored %d configurations in %v\n", res.Explored, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("best configuration:\n  %v\n", res.Best.Config)
+
+	// 4. The performance model's prediction...
+	est := res.Best.Estimate
+	fmt.Printf("predicted: %.2f s/iter (%.0f samples/s), peak memory %.1f GiB\n",
+		est.IterTime, est.Throughput(g.GlobalBatch), est.PeakMem/(1<<30))
+
+	// 5. ...verified by the discrete-event 1F1B runtime simulator.
+	sim, err := aceso.Simulate(g, cl, res.Best.Config, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated: %.2f s/iter, peak memory %.1f GiB, OOM=%v\n",
+		sim.IterTime, sim.PeakMem/(1<<30), sim.OOM)
+}

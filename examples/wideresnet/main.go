@@ -1,0 +1,55 @@
+// Wide-ResNet: a heterogeneous vision model where different operators
+// want different parallelism — the paper's second §5.4 case study.
+//
+// Early convolutions are small and shard poorly (8-way tensor
+// parallelism would run them at a fraction of peak), while the late,
+// memory-heavy blocks need aggressive sharding to fit. Aceso's
+// fine-tuning pass mixes per-operator dp×tp inside a stage; this
+// example prints the mixes it found.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"aceso"
+)
+
+func main() {
+	g, err := aceso.WideResNet("6.8B")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl := aceso.DGX1V100(2) // 16 GPUs
+	fmt.Printf("model %s: %d operators, %.2fB parameters, fp32, batch %d\n",
+		g.Name, len(g.Ops), g.TotalParams()/1e9, g.GlobalBatch)
+
+	res, err := aceso.Search(g, cl, aceso.Options{TimeBudget: 3 * time.Second, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := res.Best.Config
+	fmt.Printf("\nfound %d pipeline stages, microbatch %d (explored %d configs)\n",
+		cfg.NumStages(), cfg.MicroBatch, res.Explored)
+
+	for i := range cfg.Stages {
+		st := &cfg.Stages[i]
+		mixes := map[[2]int]int{}
+		for j := range st.Ops {
+			mixes[[2]int{st.Ops[j].TP, st.Ops[j].DP}]++
+		}
+		fmt.Printf("stage %d: ops %d-%d on %d GPUs, %d recomputed\n",
+			i, st.Start, st.End-1, st.Devices, cfg.RecomputedOps(i))
+		for mix, n := range mixes {
+			fmt.Printf("    tp%d × dp%d on %d ops\n", mix[0], mix[1], n)
+		}
+	}
+
+	sim, err := aceso.Simulate(g, cl, cfg, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsimulated: %.2f s/iter, peak memory %.1f GiB\n",
+		sim.IterTime, sim.PeakMem/(1<<30))
+}

@@ -1,0 +1,3 @@
+module aceso
+
+go 1.22

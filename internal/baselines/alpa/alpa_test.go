@@ -1,0 +1,122 @@
+package alpa
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"aceso/internal/hardware"
+	"aceso/internal/model"
+)
+
+func TestSearchFindsFeasibleConfig(t *testing.T) {
+	g, _ := model.GPT3("350M")
+	cl := hardware.DGX1V100(1).Restrict(4)
+	res, err := Search(g, cl, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || !res.Estimate.Feasible {
+		t.Fatal("no feasible configuration")
+	}
+	if err := res.Best.Validate(g, 4); err != nil {
+		t.Fatalf("best config invalid: %v", err)
+	}
+	if res.Kernels == 0 {
+		t.Error("no kernels recorded")
+	}
+	if res.EmulatedSearchCost <= res.Elapsed {
+		t.Error("emulated cost must include the compile charge")
+	}
+}
+
+func TestStageSettingsUniform(t *testing.T) {
+	// Alpa never configures below layer-group granularity, and our
+	// stage materialization is uniform per stage.
+	g, _ := model.GPT3("1.3B")
+	cl := hardware.DGX1V100(1)
+	res, err := Search(g, cl, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Best.Stages {
+		st := &res.Best.Stages[i]
+		for j := 1; j < len(st.Ops); j++ {
+			if st.Ops[j] != st.Ops[0] {
+				t.Fatal("intra-stage op settings differ: exceeds Alpa's space")
+			}
+		}
+	}
+	// Recomputation is all-or-nothing model-wide.
+	rc := res.Best.Stages[0].Ops[0].Recompute
+	for i := range res.Best.Stages {
+		for j := range res.Best.Stages[i].Ops {
+			if res.Best.Stages[i].Ops[j].Recompute != rc {
+				t.Fatal("per-op recomputation: exceeds Alpa's space")
+			}
+		}
+	}
+}
+
+func TestDeepModelFailsCompilation(t *testing.T) {
+	g, err := model.DeepTransformer(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := hardware.DGX1V100(1)
+	_, err = Search(g, cl, Options{Seed: 1})
+	if !errors.Is(err, ErrTooDeep) {
+		t.Fatalf("err = %v, want ErrTooDeep", err)
+	}
+	// 64 layers still compiles.
+	g64, _ := model.DeepTransformer(64)
+	if _, err := Search(g64, cl, Options{Seed: 1, LayerGroupsGrid: []int{8}, MaxMicroBatch: 4}); err != nil {
+		t.Fatalf("64 layers should compile: %v", err)
+	}
+}
+
+func TestSearchCostGrowsWithLayerGroups(t *testing.T) {
+	g, _ := model.GPT3("350M")
+	cl := hardware.DGX1V100(1).Restrict(4)
+	small, err := Search(g, cl, Options{Seed: 1, LayerGroupsGrid: []int{4}, MaxMicroBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Search(g, cl, Options{Seed: 1, LayerGroupsGrid: []int{24}, MaxMicroBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Kernels <= small.Kernels {
+		t.Errorf("kernels: l=24 (%d) should exceed l=4 (%d)", big.Kernels, small.Kernels)
+	}
+	if big.EmulatedSearchCost <= small.EmulatedSearchCost {
+		t.Error("emulated search cost should grow with l")
+	}
+}
+
+func TestCompileCostHonored(t *testing.T) {
+	g, _ := model.GPT3("350M")
+	cl := hardware.DGX1V100(1).Restrict(4)
+	res, err := Search(g, cl, Options{Seed: 1, LayerGroupsGrid: []int{4}, MaxMicroBatch: 2, CompileCost: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Elapsed + time.Duration(res.Kernels)*time.Second
+	if res.EmulatedSearchCost != want {
+		t.Errorf("EmulatedSearchCost = %v, want %v", res.EmulatedSearchCost, want)
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	g, _ := model.GPT3("350M")
+	bad := hardware.DGX1V100(1)
+	bad.IntraBW = 0
+	if _, err := Search(g, bad, Options{}); err == nil {
+		t.Error("invalid cluster accepted")
+	}
+	bg := model.Uniform(4, 1e9, 1e6, 1e5, 64)
+	bg.GlobalBatch = -1
+	if _, err := Search(bg, hardware.DGX1V100(1), Options{}); err == nil {
+		t.Error("invalid graph accepted")
+	}
+}

@@ -1,0 +1,104 @@
+package dpsearch
+
+import (
+	"testing"
+
+	"aceso/internal/hardware"
+	"aceso/internal/model"
+	"aceso/internal/perfmodel"
+)
+
+func TestSearchFindsFeasibleConfig(t *testing.T) {
+	g, _ := model.GPT3("350M")
+	cl := hardware.DGX1V100(1).Restrict(4)
+	res, err := Search(g, cl, Options{Seed: 1, MaxStages: 4, MicroBatches: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || !res.Estimate.Feasible {
+		t.Fatal("no feasible configuration")
+	}
+	if err := res.Best.Validate(g, 4); err != nil {
+		t.Fatalf("best config invalid: %v", err)
+	}
+	if res.Explored < 1000 {
+		t.Errorf("Explored = %d; the DP should consider many candidates", res.Explored)
+	}
+}
+
+func TestExploredGrowsWithModelSize(t *testing.T) {
+	cl := hardware.DGX1V100(1).Restrict(4)
+	small := model.Uniform(32, 1e11, 1e7, 1e6, 64)
+	large := model.Uniform(96, 1e11, 1e7, 1e6, 64)
+	opts := Options{Seed: 1, MaxStages: 4, MicroBatches: []int{1}}
+	rs, err := Search(small, cl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := Search(large, cl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Explored <= rs.Explored {
+		t.Errorf("explored: 96 ops (%d) should exceed 32 ops (%d)", rl.Explored, rs.Explored)
+	}
+}
+
+func TestDPFindsBalancedPartitionOnSkewedModel(t *testing.T) {
+	// With heavy ops at the end, the DP should give the last stage
+	// fewer ops than the first.
+	g := model.Skewed(48, 2e11, 1e7, 1e6, 0.2, 64)
+	cl := hardware.DGX1V100(1).Restrict(4)
+	res, err := Search(g, cl, Options{Seed: 1, MaxStages: 4, MicroBatches: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.NumStages() < 2 {
+		t.Skip("DP chose a single stage; imbalance test not applicable")
+	}
+	first := res.Best.Stages[0].NumOps()
+	last := res.Best.Stages[res.Best.NumStages()-1].NumOps()
+	if last > first {
+		t.Errorf("last stage (%d ops) should not exceed first (%d) on a tail-heavy model", last, first)
+	}
+}
+
+func TestSharedModelReuse(t *testing.T) {
+	g, _ := model.GPT3("350M")
+	cl := hardware.DGX1V100(1).Restrict(4)
+	pm := perfmodel.New(g, cl, 1)
+	res1, err := Search(g, cl, Options{Model: pm, MaxStages: 2, MicroBatches: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Search(g, cl, Options{Model: pm, MaxStages: 2, MicroBatches: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Estimate.IterTime != res2.Estimate.IterTime {
+		t.Error("DP search not deterministic with a shared model")
+	}
+	if res1.Explored != res2.Explored {
+		t.Error("explored counts differ across identical runs")
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	g, _ := model.GPT3("350M")
+	bad := hardware.DGX1V100(1)
+	bad.Nodes = 0
+	if _, err := Search(g, bad, Options{}); err == nil {
+		t.Error("invalid cluster accepted")
+	}
+	bg := model.Uniform(4, 1e9, 1e6, 1e5, 64)
+	bg.Ops[0].ActElems = 0
+	if _, err := Search(bg, hardware.DGX1V100(1), Options{}); err == nil {
+		t.Error("invalid graph accepted")
+	}
+	// Unsatisfiable memory.
+	tiny := hardware.DGX1V100(1).Restrict(1)
+	tiny.MemoryBytes = 1 << 10
+	if _, err := Search(g, tiny, Options{MaxStages: 1, MicroBatches: []int{1}}); err == nil {
+		t.Error("expected no-feasible-configuration error")
+	}
+}

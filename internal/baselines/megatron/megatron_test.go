@@ -1,0 +1,85 @@
+package megatron
+
+import (
+	"testing"
+
+	"aceso/internal/hardware"
+	"aceso/internal/model"
+)
+
+func TestSearchFindsFeasibleGlobalConfig(t *testing.T) {
+	g, _ := model.GPT3("350M")
+	cl := hardware.DGX1V100(1).Restrict(4)
+	res, err := Search(g, cl, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || !res.Estimate.Feasible {
+		t.Fatal("no feasible grid point")
+	}
+	if err := res.Best.Validate(g, 4); err != nil {
+		t.Fatalf("best config invalid: %v", err)
+	}
+	if res.Evaluated < 10 {
+		t.Errorf("Evaluated = %d, grid suspiciously small", res.Evaluated)
+	}
+}
+
+func TestConfigsAreGlobal(t *testing.T) {
+	// Every op in a Megatron config shares the same tp, dp and
+	// recompute setting — the global restriction the paper describes.
+	g, _ := model.GPT3("1.3B")
+	cl := hardware.DGX1V100(1)
+	res, err := Search(g, cl, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Best.Stages[0].Ops[0]
+	for i := range res.Best.Stages {
+		st := &res.Best.Stages[i]
+		if st.Devices != res.Best.Stages[0].Devices {
+			t.Error("stages have unequal device counts")
+		}
+		for j := range st.Ops {
+			if st.Ops[j] != first {
+				t.Fatalf("op setting %+v differs from %+v: not global", st.Ops[j], first)
+			}
+		}
+	}
+	// Stage op counts must be even (±1 rounding).
+	n0 := res.Best.Stages[0].NumOps()
+	for i := range res.Best.Stages {
+		d := res.Best.Stages[i].NumOps() - n0
+		if d < -1 || d > 1 {
+			t.Error("stage partition not even")
+		}
+	}
+}
+
+func TestMemoryPressureForcesRecomputeOrSharding(t *testing.T) {
+	g, _ := model.GPT3("2.6B")
+	cl := hardware.DGX1V100(1)
+	res, err := Search(g, cl, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := res.Best.Stages[0].Ops[0]
+	if !s0.Recompute && s0.TP == 1 && res.Best.NumStages() == 1 {
+		t.Error("2.6B on one 8-GPU node needs recompute, tp, or pipelining")
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	g, _ := model.GPT3("350M")
+	bad := hardware.DGX1V100(1)
+	bad.MemoryBytes = 0
+	if _, err := Search(g, bad, Options{}); err == nil {
+		t.Error("invalid cluster accepted")
+	}
+	// Impossible memory: every grid point infeasible.
+	tiny := hardware.DGX1V100(1).Restrict(1)
+	tiny.MemoryBytes = 1 << 20
+	if _, err := Search(g, tiny, Options{}); err == nil {
+		t.Error("expected no-feasible-configuration error")
+	}
+}

@@ -1,0 +1,84 @@
+// Package collective models the cost of the collective-communication
+// operations that parallel DNN training relies on: all-reduce for
+// tensor- and data-parallel synchronization, all-gather/reduce-scatter
+// for layout changes, and point-to-point transfers between pipeline
+// stages.
+//
+// The models follow the ring-algorithm cost shapes NCCL exhibits:
+//
+//	allreduce(n, g)      = 2 (g-1)/g · n / bw + (g-1) · lat · 2
+//	allgather(n, g)      =   (g-1)/g · n / bw + (g-1) · lat
+//	reducescatter(n, g)  =   (g-1)/g · n / bw + (g-1) · lat
+//	p2p(n)               =   n / bw + lat
+//
+// where bw and lat are picked from the cluster's intra-node or
+// inter-node link depending on the placement of the group. The paper's
+// profiler measures these on hardware (§3.3); here they are analytic,
+// which preserves the orderings the search depends on (DESIGN.md §2).
+package collective
+
+import "aceso/internal/hardware"
+
+// Placement says whether a communication group is contained in one
+// node or spans several.
+type Placement int
+
+const (
+	// IntraNode groups use the fast in-node links (NVLink).
+	IntraNode Placement = iota
+	// InterNode groups are bottlenecked by the network (InfiniBand).
+	InterNode
+)
+
+// PlacementFor derives the placement of a contiguous device range.
+func PlacementFor(c hardware.Cluster, firstDev, size int) Placement {
+	if c.GroupSpansNodes(firstDev, size) {
+		return InterNode
+	}
+	return IntraNode
+}
+
+func linkOf(c hardware.Cluster, p Placement) (bw, lat float64) {
+	if p == InterNode {
+		return c.InterBW, c.InterLat
+	}
+	return c.IntraBW, c.IntraLat
+}
+
+// AllReduce returns the time (seconds) for a ring all-reduce of `bytes`
+// over a group of `size` devices with the given placement.
+func AllReduce(c hardware.Cluster, bytes float64, size int, p Placement) float64 {
+	if size <= 1 || bytes <= 0 {
+		return 0
+	}
+	bw, lat := linkOf(c, p)
+	g := float64(size)
+	return 2*(g-1)/g*bytes/bw + 2*(g-1)*lat
+}
+
+// AllGather returns the time for a ring all-gather where every rank
+// ends with `bytes` total (i.e. each contributes bytes/size).
+func AllGather(c hardware.Cluster, bytes float64, size int, p Placement) float64 {
+	if size <= 1 || bytes <= 0 {
+		return 0
+	}
+	bw, lat := linkOf(c, p)
+	g := float64(size)
+	return (g-1)/g*bytes/bw + (g-1)*lat
+}
+
+// ReduceScatter returns the time for a ring reduce-scatter of `bytes`.
+func ReduceScatter(c hardware.Cluster, bytes float64, size int, p Placement) float64 {
+	// Same ring cost shape as all-gather.
+	return AllGather(c, bytes, size, p)
+}
+
+// P2P returns the time to move `bytes` between two devices with the
+// given placement (pipeline-stage boundary send/recv).
+func P2P(c hardware.Cluster, bytes float64, p Placement) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	bw, lat := linkOf(c, p)
+	return bytes/bw + lat
+}

@@ -1,0 +1,161 @@
+// Package comm provides the collective-communication layer of the
+// numeric runtime: a miniature in-process NCCL where devices are
+// goroutines and transports are channels. The runtime's data-,
+// tensor- and pipeline-parallel executors are SPMD programs whose
+// ranks synchronize exclusively through a World.
+package comm
+
+import (
+	"fmt"
+	"sync"
+
+	"aceso/internal/tensor"
+)
+
+// World connects n ranks. All collective calls are group-scoped: every
+// member of the group must call with the same group and op sequence,
+// or the collective deadlocks (as a real NCCL communicator would).
+type World struct {
+	n  int
+	mu sync.Mutex
+	// In-flight rendezvous per group key; removed on completion so
+	// consecutive collectives on the same group start fresh.
+	points map[string]*rendezvous
+	// p2p mailboxes keyed by (from, to, tag).
+	mail map[mailKey]chan *tensor.Mat
+}
+
+type mailKey struct {
+	from, to int
+	tag      string
+}
+
+type rendezvous struct {
+	want    int
+	entered int
+	inputs  []*tensor.Mat
+	ranks   []int
+	done    chan struct{}
+	outputs map[int]*tensor.Mat
+}
+
+// NewWorld returns a communicator over n ranks.
+func NewWorld(n int) *World {
+	if n <= 0 {
+		panic(fmt.Sprintf("comm: invalid world size %d", n))
+	}
+	return &World{
+		n:      n,
+		points: make(map[string]*rendezvous),
+		mail:   make(map[mailKey]chan *tensor.Mat),
+	}
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// enter joins rank's collective on group, contributing in; it blocks
+// until all members arrive and returns the rendezvous for reduction.
+func (w *World) enter(group []int, rank int, in *tensor.Mat) *rendezvous {
+	key := fmt.Sprint(group)
+	w.mu.Lock()
+	r, ok := w.points[key]
+	if !ok {
+		r = &rendezvous{
+			want:    len(group),
+			done:    make(chan struct{}),
+			outputs: make(map[int]*tensor.Mat),
+		}
+		w.points[key] = r
+	}
+	r.entered++
+	r.inputs = append(r.inputs, in)
+	r.ranks = append(r.ranks, rank)
+	last := r.entered == r.want
+	if last {
+		// This rendezvous is complete; detach it so the next collective
+		// on the same group starts fresh.
+		delete(w.points, key)
+	}
+	w.mu.Unlock()
+	if last {
+		return r
+	}
+	<-r.done
+	return r
+}
+
+// AllReduceSum sums the contributions of every rank in group and
+// returns the result to each caller. Must be called by every member.
+func (w *World) AllReduceSum(group []int, rank int, in *tensor.Mat) *tensor.Mat {
+	r := w.enter(group, rank, in)
+	if r.entered == r.want && !closed(r.done) {
+		// The completing rank reduces.
+		sum := r.inputs[0].Clone()
+		for _, m := range r.inputs[1:] {
+			tensor.AddInPlace(sum, m)
+		}
+		for _, rk := range r.ranks {
+			r.outputs[rk] = sum
+		}
+		close(r.done)
+	}
+	<-r.done
+	return r.outputs[rank].Clone()
+}
+
+// AllGatherCols concatenates each rank's column shard in group-rank
+// order and returns the full matrix to every caller.
+func (w *World) AllGatherCols(group []int, rank int, in *tensor.Mat) *tensor.Mat {
+	r := w.enter(group, rank, in)
+	if r.entered == r.want && !closed(r.done) {
+		// Order contributions by position within the group.
+		byRank := map[int]*tensor.Mat{}
+		for i, rk := range r.ranks {
+			byRank[rk] = r.inputs[i]
+		}
+		parts := make([]*tensor.Mat, 0, len(group))
+		for _, rk := range group {
+			parts = append(parts, byRank[rk])
+		}
+		full := tensor.ConcatCols(parts...)
+		for _, rk := range r.ranks {
+			r.outputs[rk] = full
+		}
+		close(r.done)
+	}
+	<-r.done
+	return r.outputs[rank].Clone()
+}
+
+func closed(ch chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// Send transfers m from rank `from` to rank `to` under a tag
+// (pipeline-stage boundary traffic). Buffered: Send does not block.
+func (w *World) Send(from, to int, tag string, m *tensor.Mat) {
+	w.box(from, to, tag) <- m.Clone()
+}
+
+// Recv blocks until the matching Send arrives.
+func (w *World) Recv(from, to int, tag string) *tensor.Mat {
+	return <-w.box(from, to, tag)
+}
+
+func (w *World) box(from, to int, tag string) chan *tensor.Mat {
+	key := mailKey{from, to, tag}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ch, ok := w.mail[key]
+	if !ok {
+		ch = make(chan *tensor.Mat, 1024)
+		w.mail[key] = ch
+	}
+	return ch
+}

@@ -1,0 +1,154 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+
+	"aceso/internal/tensor"
+)
+
+func vec(vals ...float64) *tensor.Mat {
+	return &tensor.Mat{Rows: 1, Cols: len(vals), Data: vals}
+}
+
+func TestAllReduceSum(t *testing.T) {
+	w := NewWorld(4)
+	group := []int{0, 1, 2, 3}
+	results := make([]*tensor.Mat, 4)
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			results[r] = w.AllReduceSum(group, r, vec(float64(r+1), 10*float64(r+1)))
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < 4; r++ {
+		if results[r].Data[0] != 10 || results[r].Data[1] != 100 {
+			t.Errorf("rank %d got %v, want [10 100]", r, results[r].Data)
+		}
+	}
+}
+
+func TestAllReduceIndependentGroups(t *testing.T) {
+	w := NewWorld(4)
+	groups := [][]int{{0, 1}, {2, 3}}
+	results := make([]*tensor.Mat, 4)
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			results[r] = w.AllReduceSum(groups[r/2], r, vec(float64(r)))
+		}(r)
+	}
+	wg.Wait()
+	if results[0].Data[0] != 1 || results[1].Data[0] != 1 {
+		t.Errorf("group {0,1}: got %v, %v, want 1", results[0].Data, results[1].Data)
+	}
+	if results[2].Data[0] != 5 || results[3].Data[0] != 5 {
+		t.Errorf("group {2,3}: got %v, %v, want 5", results[2].Data, results[3].Data)
+	}
+}
+
+func TestConsecutiveCollectivesDoNotCollide(t *testing.T) {
+	w := NewWorld(2)
+	group := []int{0, 1}
+	out := make([][]float64, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			a := w.AllReduceSum(group, r, vec(1))
+			b := w.AllReduceSum(group, r, vec(10))
+			out[r] = []float64{a.Data[0], b.Data[0]}
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < 2; r++ {
+		if out[r][0] != 2 || out[r][1] != 20 {
+			t.Errorf("rank %d: %v, want [2 20]", r, out[r])
+		}
+	}
+}
+
+func TestAllGatherColsOrdering(t *testing.T) {
+	w := NewWorld(3)
+	group := []int{0, 1, 2}
+	results := make([]*tensor.Mat, 3)
+	var wg sync.WaitGroup
+	// Ranks enter in arbitrary order; the gather must still be in
+	// group-rank order.
+	for _, r := range []int{2, 0, 1} {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			results[r] = w.AllGatherCols(group, r, vec(float64(r)))
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < 3; r++ {
+		got := results[r].Data
+		if got[0] != 0 || got[1] != 1 || got[2] != 2 {
+			t.Errorf("rank %d gathered %v, want [0 1 2]", r, got)
+		}
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	w := NewWorld(2)
+	w.Send(0, 1, "fwd:0", vec(42))
+	got := w.Recv(0, 1, "fwd:0")
+	if got.Data[0] != 42 {
+		t.Fatalf("Recv = %v", got.Data)
+	}
+	// Tags keep streams separate.
+	w.Send(0, 1, "a", vec(1))
+	w.Send(0, 1, "b", vec(2))
+	if w.Recv(0, 1, "b").Data[0] != 2 {
+		t.Error("tag b delivered wrong payload")
+	}
+	if w.Recv(0, 1, "a").Data[0] != 1 {
+		t.Error("tag a delivered wrong payload")
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	w := NewWorld(2)
+	m := vec(7)
+	w.Send(0, 1, "t", m)
+	m.Data[0] = 99 // mutate after send
+	if got := w.Recv(0, 1, "t"); got.Data[0] != 7 {
+		t.Errorf("Recv = %v, want 7 (send must copy)", got.Data)
+	}
+}
+
+func TestAllReduceResultIsolated(t *testing.T) {
+	w := NewWorld(2)
+	group := []int{0, 1}
+	results := make([]*tensor.Mat, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			results[r] = w.AllReduceSum(group, r, vec(1))
+		}(r)
+	}
+	wg.Wait()
+	results[0].Data[0] = 123
+	if results[1].Data[0] != 2 {
+		t.Error("ranks share all-reduce output storage")
+	}
+}
+
+func TestNewWorldPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewWorld(0)
+}

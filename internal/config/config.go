@@ -1,0 +1,287 @@
+// Package config defines the parallel-training configuration that
+// Aceso searches over: a pipeline-stage partition of the operator
+// list, per-operator tensor/data-parallel settings and recomputation
+// flags, and the global microbatch size (§3.1, Figure 2).
+package config
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"aceso/internal/model"
+)
+
+// OpSetting is the parallelization of a single operator inside its
+// pipeline stage. TP·DP always equals the stage's device count; the
+// fine-tuning pass (§4.2) may give different ops in one stage
+// different TP/DP mixes and sharding dims.
+type OpSetting struct {
+	TP, DP int
+	// Dim indexes the operator's PartitionDims (sharding choice).
+	Dim int
+	// Recompute releases this op's saved activations and re-runs its
+	// forward during backward (§2.1).
+	Recompute bool
+	// ZeRO shards this op's optimizer states across its data-parallel
+	// group (ZeRO stage 1), trading an extra parameter all-gather per
+	// iteration for 1/dp the optimizer memory. This is an extension
+	// primitive beyond the paper's Table 1 (§3.2.1 invites them);
+	// only meaningful — and only valid — when DP > 1.
+	ZeRO bool
+	// SeqPar applies Megatron-style sequence parallelism: activations
+	// the op would keep replicated across its tensor-parallel group
+	// (layer norms, dropout) are sharded along the sequence dimension
+	// instead, cutting their memory and compute by tp at equal
+	// communication volume (all-reduce ⇒ reduce-scatter + all-gather).
+	// Extension primitive; only valid when TP > 1.
+	SeqPar bool
+}
+
+// Stage is one pipeline stage: the contiguous operator range
+// [Start, End) executed on Devices GPUs.
+type Stage struct {
+	Start, End int
+	Devices    int
+	Ops        []OpSetting // len == End-Start, indexed by op - Start
+}
+
+// NumOps returns the number of operators in the stage.
+func (s *Stage) NumOps() int { return s.End - s.Start }
+
+// Setting returns the OpSetting for global operator index op.
+func (s *Stage) Setting(op int) *OpSetting { return &s.Ops[op-s.Start] }
+
+// Config is a complete parallel configuration for one model on one
+// cluster: an ordered pipeline partition plus the aggregate microbatch
+// size. Stages occupy contiguous device ranks in order.
+type Config struct {
+	Stages []Stage
+	// MicroBatch is the aggregate microbatch size: the number of
+	// samples injected into the pipeline per microbatch. Each op's
+	// data-parallel group splits it (per-replica samples =
+	// MicroBatch / DP), preserving semantics when DP changes
+	// (Figure 5(c)).
+	MicroBatch int
+}
+
+// NumStages returns the pipeline depth.
+func (c *Config) NumStages() int { return len(c.Stages) }
+
+// TotalDevices returns the summed device count of all stages.
+func (c *Config) TotalDevices() int {
+	n := 0
+	for i := range c.Stages {
+		n += c.Stages[i].Devices
+	}
+	return n
+}
+
+// FirstDev returns the global rank of stage i's first device.
+func (c *Config) FirstDev(i int) int {
+	n := 0
+	for j := 0; j < i; j++ {
+		n += c.Stages[j].Devices
+	}
+	return n
+}
+
+// StageOf returns the index of the stage containing global op index
+// op, or -1 if out of range.
+func (c *Config) StageOf(op int) int {
+	for i := range c.Stages {
+		if op >= c.Stages[i].Start && op < c.Stages[i].End {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumMicrobatches returns the number of microbatches per iteration.
+func (c *Config) NumMicrobatches(globalBatch int) int {
+	if c.MicroBatch <= 0 {
+		return 0
+	}
+	return globalBatch / c.MicroBatch
+}
+
+// IsPow2 reports whether v is a positive power of two.
+func IsPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+// Validate checks every structural invariant of the configuration
+// against its model and cluster size (DESIGN.md §6, invariant 1).
+func (c *Config) Validate(g *model.Graph, totalDevices int) error {
+	if len(c.Stages) == 0 {
+		return fmt.Errorf("config: no stages")
+	}
+	if c.MicroBatch <= 0 {
+		return fmt.Errorf("config: MicroBatch = %d, want > 0", c.MicroBatch)
+	}
+	if g.GlobalBatch%c.MicroBatch != 0 {
+		return fmt.Errorf("config: MicroBatch %d does not divide global batch %d",
+			c.MicroBatch, g.GlobalBatch)
+	}
+	if got := c.TotalDevices(); got != totalDevices {
+		return fmt.Errorf("config: stages use %d devices, cluster has %d", got, totalDevices)
+	}
+	next := 0
+	for i := range c.Stages {
+		s := &c.Stages[i]
+		if s.Start != next {
+			return fmt.Errorf("config: stage %d starts at op %d, want %d", i, s.Start, next)
+		}
+		if s.End <= s.Start {
+			return fmt.Errorf("config: stage %d is empty [%d, %d)", i, s.Start, s.End)
+		}
+		next = s.End
+		if !IsPow2(s.Devices) {
+			return fmt.Errorf("config: stage %d has %d devices, want a power of two", i, s.Devices)
+		}
+		if len(s.Ops) != s.NumOps() {
+			return fmt.Errorf("config: stage %d has %d settings for %d ops", i, len(s.Ops), s.NumOps())
+		}
+		for j := range s.Ops {
+			op := &s.Ops[j]
+			if !IsPow2(op.TP) || !IsPow2(op.DP) {
+				return fmt.Errorf("config: stage %d op %d: tp=%d dp=%d, want powers of two",
+					i, s.Start+j, op.TP, op.DP)
+			}
+			if op.TP*op.DP != s.Devices {
+				return fmt.Errorf("config: stage %d op %d: tp·dp = %d, want %d devices",
+					i, s.Start+j, op.TP*op.DP, s.Devices)
+			}
+			if c.MicroBatch%op.DP != 0 {
+				return fmt.Errorf("config: stage %d op %d: dp=%d does not divide microbatch %d",
+					i, s.Start+j, op.DP, c.MicroBatch)
+			}
+			if op.ZeRO && op.DP < 2 {
+				return fmt.Errorf("config: stage %d op %d: ZeRO requires dp > 1", i, s.Start+j)
+			}
+			if op.SeqPar && op.TP < 2 {
+				return fmt.Errorf("config: stage %d op %d: sequence parallelism requires tp > 1", i, s.Start+j)
+			}
+			dims := g.Ops[s.Start+j].Dims
+			if op.Dim < 0 || op.Dim >= len(dims) {
+				return fmt.Errorf("config: stage %d op %d: dim %d out of range [0,%d)",
+					i, s.Start+j, op.Dim, len(dims))
+			}
+		}
+	}
+	if next != len(g.Ops) {
+		return fmt.Errorf("config: stages cover %d ops, model has %d", next, len(g.Ops))
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the configuration.
+func (c *Config) Clone() *Config {
+	out := &Config{
+		Stages:     make([]Stage, len(c.Stages)),
+		MicroBatch: c.MicroBatch,
+	}
+	for i := range c.Stages {
+		s := c.Stages[i]
+		ops := make([]OpSetting, len(s.Ops))
+		copy(ops, s.Ops)
+		s.Ops = ops
+		out.Stages[i] = s
+	}
+	return out
+}
+
+// canonical writes the semantic content of the configuration in a
+// canonical form. Two configurations are semantically identical iff
+// their canonical forms are byte-identical.
+func (c *Config) canonical(sb *strings.Builder) {
+	fmt.Fprintf(sb, "mb=%d;", c.MicroBatch)
+	for i := range c.Stages {
+		s := &c.Stages[i]
+		fmt.Fprintf(sb, "s[%d,%d)x%d:", s.Start, s.End, s.Devices)
+		for j := range s.Ops {
+			op := &s.Ops[j]
+			r := 0
+			if op.Recompute {
+				r = 1
+			}
+			z := 0
+			if op.ZeRO {
+				z = 1
+			}
+			sp := 0
+			if op.SeqPar {
+				sp = 1
+			}
+			fmt.Fprintf(sb, "%d.%d.%d.%d.%d.%d,", op.TP, op.DP, op.Dim, r, z, sp)
+		}
+		sb.WriteByte(';')
+	}
+}
+
+// Hash returns the configuration-semantic hash used for search
+// deduplication (§4.3).
+func (c *Config) Hash() uint64 {
+	var sb strings.Builder
+	c.canonical(&sb)
+	h := fnv.New64a()
+	h.Write([]byte(sb.String()))
+	return h.Sum64()
+}
+
+// Canonical returns the canonical string form (exposed for tests of
+// the hash ⇔ string equivalence invariant).
+func (c *Config) Canonical() string {
+	var sb strings.Builder
+	c.canonical(&sb)
+	return sb.String()
+}
+
+// String renders a compact human-readable summary, collapsing runs of
+// identical op settings inside each stage.
+func (c *Config) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "mbs=%d |", c.MicroBatch)
+	for i := range c.Stages {
+		s := &c.Stages[i]
+		fmt.Fprintf(&sb, " stage%d[ops %d-%d, %dGPU", i, s.Start, s.End-1, s.Devices)
+		runStart := 0
+		for j := 1; j <= len(s.Ops); j++ {
+			if j < len(s.Ops) && s.Ops[j] == s.Ops[runStart] {
+				continue
+			}
+			op := s.Ops[runStart]
+			rc := ""
+			if op.Dim != 0 {
+				rc += fmt.Sprintf(",dim%d", op.Dim)
+			}
+			if op.Recompute {
+				rc += ",rc"
+			}
+			if op.ZeRO {
+				rc += ",zero"
+			}
+			if op.SeqPar {
+				rc += ",sp"
+			}
+			if runStart == 0 && j == len(s.Ops) {
+				fmt.Fprintf(&sb, ", tp%d×dp%d%s", op.TP, op.DP, rc)
+			} else {
+				fmt.Fprintf(&sb, ", ops%d-%d:tp%d×dp%d%s",
+					s.Start+runStart, s.Start+j-1, op.TP, op.DP, rc)
+			}
+			runStart = j
+		}
+		sb.WriteString("]")
+	}
+	return sb.String()
+}
+
+// RecomputedOps returns the number of recomputed ops in stage i.
+func (c *Config) RecomputedOps(i int) int {
+	n := 0
+	for j := range c.Stages[i].Ops {
+		if c.Stages[i].Ops[j].Recompute {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,37 @@
+package config
+
+import "testing"
+
+// FuzzDeviceSplit asserts DeviceSplit's contract over arbitrary
+// inputs: on success, the parts are powers of two summing exactly to
+// the total; failures happen only when total < stages or no
+// power-of-two composition exists.
+func FuzzDeviceSplit(f *testing.F) {
+	f.Add(16, 3)
+	f.Add(32, 5)
+	f.Add(1, 1)
+	f.Add(7, 2)
+	f.Add(1024, 9)
+	f.Fuzz(func(t *testing.T, total, stages int) {
+		if total < 0 || total > 1<<16 || stages < 0 || stages > 256 {
+			t.Skip()
+		}
+		parts, err := DeviceSplit(total, stages)
+		if err != nil {
+			return
+		}
+		if len(parts) != stages {
+			t.Fatalf("DeviceSplit(%d, %d) returned %d parts", total, stages, len(parts))
+		}
+		sum := 0
+		for _, p := range parts {
+			if !IsPow2(p) {
+				t.Fatalf("part %d not a power of two (total %d, stages %d)", p, total, stages)
+			}
+			sum += p
+		}
+		if sum != total {
+			t.Fatalf("parts sum to %d, want %d", sum, total)
+		}
+	})
+}

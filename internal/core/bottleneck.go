@@ -1,0 +1,85 @@
+package core
+
+import (
+	"sort"
+
+	"aceso/internal/perfmodel"
+)
+
+// Bottleneck identifies one stage and the ordered list of resources to
+// alleviate there.
+type Bottleneck struct {
+	Stage     int
+	Resources []Resource // Heuristic-2 exploration order
+}
+
+// Bottlenecks ranks the stages of an estimate by Heuristic-1:
+//
+//   - When the configuration is out of memory, stages are ranked by
+//     memory consumption (largest first) and memory is the first
+//     resource to alleviate.
+//   - Otherwise stages are ranked by execution time (longest first)
+//     and resources are ordered by their consumption proportion —
+//     the stage's share of the cluster-wide consumption of that
+//     resource (Heuristic-2, highest-consumption first).
+//
+// The full ranking (not just the top stage) is returned so that the
+// search can fall back to secondary bottlenecks when the primary one
+// cannot be improved (§3.2.3).
+func Bottlenecks(est *perfmodel.Estimate, memCapacity float64) []Bottleneck {
+	n := len(est.Stages)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+
+	var totalComp, totalComm, totalMem float64
+	for i := range est.Stages {
+		s := &est.Stages[i]
+		totalComp += s.CompTime()
+		totalComm += s.CommTime(est.Microbatches)
+		totalMem += s.PeakMem
+	}
+
+	if !est.Feasible {
+		sort.SliceStable(idx, func(a, b int) bool {
+			return est.Stages[idx[a]].PeakMem > est.Stages[idx[b]].PeakMem
+		})
+	} else {
+		sort.SliceStable(idx, func(a, b int) bool {
+			return est.Stages[idx[a]].StageTime > est.Stages[idx[b]].StageTime
+		})
+	}
+
+	out := make([]Bottleneck, 0, n)
+	for _, si := range idx {
+		s := &est.Stages[si]
+		b := Bottleneck{Stage: si}
+		if !est.Feasible && s.PeakMem > memCapacity {
+			// Safety first: resolve memory, then whatever time
+			// resource dominates.
+			b.Resources = append(b.Resources, Mem)
+		}
+		comp := proportion(s.CompTime(), totalComp)
+		comm := proportion(s.CommTime(est.Microbatches), totalComm)
+		if comp >= comm {
+			b.Resources = append(b.Resources, Comp, Comm)
+		} else {
+			b.Resources = append(b.Resources, Comm, Comp)
+		}
+		// High memory pressure makes memory-relieving primitives worth
+		// exploring even before an OOM materializes.
+		if est.Feasible && s.PeakMem > 0.9*memCapacity {
+			b.Resources = append(b.Resources, Mem)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func proportion(part, total float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return part / total
+}

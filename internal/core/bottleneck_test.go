@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"aceso/internal/model"
+)
+
+func TestBottleneckRankingByTime(t *testing.T) {
+	// A skewed model split into equal op-count stages leaves the
+	// heaviest ops (the end) in the last stage; Heuristic-1 must rank
+	// it first when everything fits in memory.
+	g := model.Skewed(16, 5e10, 1e6, 1e5, 2.0, 64)
+	s := newSearcher(t, g, 4)
+	cfg := mustBalanced(t, g, 4, 2, 4)
+	// Force an op-count-balanced (not FLOPs-balanced) split.
+	cfg.Stages[0].End = 8
+	cfg.Stages[1].Start = 8
+	cfg.Stages[0].Ops = cfg.Stages[0].Ops[:8]
+	for len(cfg.Stages[1].Ops) < 8 {
+		cfg.Stages[1].Ops = append(cfg.Stages[1].Ops, cfg.Stages[1].Ops[0])
+	}
+	if err := cfg.Validate(g, 4); err != nil {
+		t.Fatal(err)
+	}
+	est := s.estimate(cfg)
+	if !est.Feasible {
+		t.Fatal("test setup should be feasible")
+	}
+	bns := Bottlenecks(est, s.cluster.MemoryBytes)
+	if len(bns) != 2 {
+		t.Fatalf("got %d bottlenecks, want 2", len(bns))
+	}
+	if bns[0].Stage != 1 {
+		t.Errorf("top bottleneck = stage %d, want 1 (heavier)", bns[0].Stage)
+	}
+	for _, r := range bns[0].Resources {
+		if r == Mem {
+			t.Error("feasible, low-pressure config should not list Mem")
+		}
+	}
+}
+
+func TestBottleneckOOMPrioritizesMemory(t *testing.T) {
+	g, _ := model.GPT3("13B")
+	s := newSearcher(t, g, 4)
+	cfg := mustBalanced(t, g, 4, 2, 1)
+	est := s.estimate(cfg)
+	if est.Feasible {
+		t.Skip("13B unexpectedly fits; test requires OOM")
+	}
+	bns := Bottlenecks(est, s.cluster.MemoryBytes)
+	if bns[0].Resources[0] != Mem {
+		t.Errorf("OOM bottleneck resources = %v, want Mem first", bns[0].Resources)
+	}
+	// Ranked by memory: first stage listed must have the largest peak.
+	worst := bns[0].Stage
+	for i := range est.Stages {
+		if est.Stages[i].PeakMem > est.Stages[worst].PeakMem {
+			t.Errorf("stage %d has more memory than ranked-first stage %d", i, worst)
+		}
+	}
+}
+
+func TestBottleneckResourceOrderByProportion(t *testing.T) {
+	g, _ := model.GPT3("350M")
+	s := newSearcher(t, g, 4)
+	cfg := mustBalanced(t, g, 4, 2, 1)
+	est := s.estimate(cfg)
+	bns := Bottlenecks(est, s.cluster.MemoryBytes)
+	for _, bn := range bns {
+		// Comp and Comm must both always be present, in some order.
+		hasComp, hasComm := false, false
+		for _, r := range bn.Resources {
+			switch r {
+			case Comp:
+				hasComp = true
+			case Comm:
+				hasComm = true
+			}
+		}
+		if !hasComp || !hasComm {
+			t.Errorf("stage %d resources = %v, want both comp and comm", bn.Stage, bn.Resources)
+		}
+	}
+}
+
+func TestProportion(t *testing.T) {
+	if got := proportion(2, 8); got != 0.25 {
+		t.Errorf("proportion(2,8) = %v", got)
+	}
+	if got := proportion(1, 0); got != 0 {
+		t.Errorf("proportion(1,0) = %v, want 0", got)
+	}
+}
+
+func TestResourceString(t *testing.T) {
+	if Comp.String() != "comp" || Comm.String() != "comm" || Mem.String() != "mem" {
+		t.Error("Resource.String mismatch")
+	}
+	if Resource(42).String() == "" {
+		t.Error("unknown resource should stringify")
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"aceso/internal/hardware"
+	"aceso/internal/model"
+)
+
+func TestProjectConfigShrink(t *testing.T) {
+	g, _ := model.GPT3("1.3B")
+	old := mustBalanced(t, g, 16, 4, 4)
+	// Mark some recomputation and a tp-heavy last stage to carry over.
+	old.Stages[0].Ops[0].Recompute = true
+	old.Stages[0].Ops[1].Recompute = true
+
+	proj, err := ProjectConfig(g, old, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proj.Validate(g, 8); err != nil {
+		t.Fatal(err)
+	}
+	if proj.NumStages() != 4 {
+		t.Errorf("stages = %d, want 4 preserved", proj.NumStages())
+	}
+	if proj.MicroBatch != 4 {
+		t.Errorf("microbatch = %d, want 4 preserved", proj.MicroBatch)
+	}
+	if !proj.Stages[0].Ops[0].Recompute || !proj.Stages[0].Ops[1].Recompute {
+		t.Error("recompute flags lost in projection")
+	}
+	// Operator ranges preserved.
+	for i := range old.Stages {
+		if proj.Stages[i].Start != old.Stages[i].Start || proj.Stages[i].End != old.Stages[i].End {
+			t.Errorf("stage %d range changed: [%d,%d) vs [%d,%d)", i,
+				proj.Stages[i].Start, proj.Stages[i].End, old.Stages[i].Start, old.Stages[i].End)
+		}
+	}
+}
+
+func TestProjectConfigGrow(t *testing.T) {
+	g, _ := model.GPT3("350M")
+	old := mustBalanced(t, g, 4, 2, 2)
+	proj, err := ProjectConfig(g, old, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proj.Validate(g, 16); err != nil {
+		t.Fatal(err)
+	}
+	if proj.TotalDevices() != 16 {
+		t.Errorf("devices = %d", proj.TotalDevices())
+	}
+}
+
+func TestProjectConfigMergesStages(t *testing.T) {
+	// 8 stages onto 4 devices: stages must fold to ≤ 4.
+	g, _ := model.GPT3("350M")
+	old := mustBalanced(t, g, 8, 8, 1)
+	proj, err := ProjectConfig(g, old, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proj.Validate(g, 4); err != nil {
+		t.Fatal(err)
+	}
+	if proj.NumStages() > 4 {
+		t.Errorf("stages = %d, want ≤ 4", proj.NumStages())
+	}
+	// Coverage preserved.
+	if proj.Stages[0].Start != 0 || proj.Stages[proj.NumStages()-1].End != len(g.Ops) {
+		t.Error("projection lost op coverage")
+	}
+}
+
+func TestProjectConfigErrors(t *testing.T) {
+	g, _ := model.GPT3("350M")
+	old := mustBalanced(t, g, 4, 2, 2)
+	if _, err := ProjectConfig(g, old, 0); err == nil {
+		t.Error("projection onto 0 devices accepted")
+	}
+}
+
+func TestWarmStartSpeedsReconfiguration(t *testing.T) {
+	// Search at 16 GPUs, lose a node, re-search at 8 with and without
+	// the warm start under the same tiny budget; warm must not be
+	// worse, and its initializer must validate.
+	g, _ := model.GPT3("1.3B")
+	big := hardware.DGX1V100(2)
+	first, err := Search(g, big, Options{TimeBudget: 800 * time.Millisecond, Seed: 1, StageCounts: []int{2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := hardware.DGX1V100(1)
+	budget := 300 * time.Millisecond
+
+	cold, err := Search(g, small, Options{TimeBudget: budget, Seed: 1, StageCounts: []int{2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Search(g, small, Options{
+		TimeBudget: budget, Seed: 1, StageCounts: []int{2, 4},
+		Initializer: WarmStart(first.Best.Config),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Best.Estimate.Feasible {
+		t.Fatal("warm-started search found nothing feasible")
+	}
+	if warm.Best.Score > cold.Best.Score*1.10 {
+		t.Errorf("warm start (%.3f) much worse than cold (%.3f)", warm.Best.Score, cold.Best.Score)
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import "aceso/internal/config"
+
+// ExtensionTable holds reconfiguration primitives beyond the paper's
+// Table 1, following §3.2.1's note that "Aceso can be extended with
+// new primitives for future research". inc-zr/dec-zr toggle ZeRO-1
+// optimizer-state sharding across a stage's data-parallel groups:
+// memory drops by (dp−1)/dp of the optimizer states at the cost of a
+// parameter all-gather per iteration. They join the eligible set only
+// when Options.ExtendedPrimitives is on, so the paper-faithful search
+// space stays the default.
+var ExtensionTable = []Primitive{
+	{Name: "inc-zr", Mechanism: "zero", Comp: Flat, Comm: Up, Mem: Down,
+		apply: applyIncZR},
+	{Name: "dec-zr", Mechanism: "zero", Comp: Flat, Comm: Down, Mem: Up,
+		apply: applyDecZR},
+	// Sequence parallelism is close to a free lunch on the tp-heavy
+	// stages it applies to (Korthikanti et al. 2022): replicated-region
+	// activations and compute shrink by tp at equal communication
+	// volume — which is why inc-sp is eligible for both compute and
+	// memory bottlenecks and dec-sp for neither (it exists as the
+	// inverse for completeness).
+	{Name: "inc-sp", Mechanism: "sequence", Comp: Down, Comm: Flat, Mem: Down,
+		apply: applyIncSP},
+	{Name: "dec-sp", Mechanism: "sequence", Comp: Up, Comm: Flat, Mem: Up,
+		apply: applyDecSP},
+}
+
+// EligibleExtended returns the primitives (base plus extension table)
+// that decrease consumption of r.
+func EligibleExtended(r Resource) []*Primitive {
+	out := Eligible(r)
+	for i := range ExtensionTable {
+		if ExtensionTable[i].effect(r) == Down {
+			out = append(out, &ExtensionTable[i])
+		}
+	}
+	return out
+}
+
+func applyIncZR(s *searcher, cfg *config.Config, stage int) []*config.Config {
+	return toggleZeRO(cfg, stage, true)
+}
+
+func applyIncSP(s *searcher, cfg *config.Config, stage int) []*config.Config {
+	return toggleSeqPar(cfg, stage, true)
+}
+
+func applyDecSP(s *searcher, cfg *config.Config, stage int) []*config.Config {
+	return toggleSeqPar(cfg, stage, false)
+}
+
+// toggleSeqPar flips sequence parallelism for every eligible op
+// (tp > 1) in the stage. Returns nil when nothing would change.
+func toggleSeqPar(cfg *config.Config, stage int, on bool) []*config.Config {
+	st := &cfg.Stages[stage]
+	changed := false
+	for j := range st.Ops {
+		if st.Ops[j].TP > 1 && st.Ops[j].SeqPar != on {
+			changed = true
+		}
+	}
+	if !changed {
+		return nil
+	}
+	c := cfg.Clone()
+	for j := range c.Stages[stage].Ops {
+		op := &c.Stages[stage].Ops[j]
+		if op.TP > 1 {
+			op.SeqPar = on
+		}
+	}
+	return []*config.Config{c}
+}
+
+func applyDecZR(s *searcher, cfg *config.Config, stage int) []*config.Config {
+	return toggleZeRO(cfg, stage, false)
+}
+
+// toggleZeRO flips optimizer-state sharding for every eligible op
+// (dp > 1) in the stage. Returns nil when nothing would change.
+func toggleZeRO(cfg *config.Config, stage int, on bool) []*config.Config {
+	st := &cfg.Stages[stage]
+	changed := false
+	for j := range st.Ops {
+		if st.Ops[j].DP > 1 && st.Ops[j].ZeRO != on {
+			changed = true
+		}
+	}
+	if !changed {
+		return nil
+	}
+	c := cfg.Clone()
+	for j := range c.Stages[stage].Ops {
+		op := &c.Stages[stage].Ops[j]
+		if op.DP > 1 {
+			op.ZeRO = on
+		}
+	}
+	return []*config.Config{c}
+}

@@ -1,0 +1,141 @@
+package core
+
+import "aceso/internal/config"
+
+// fineTuneCandidateCap bounds the op-level candidates evaluated per
+// fine-tuning pass so that fine-tuning on 1K-layer models cannot
+// starve the outer search.
+const fineTuneCandidateCap = 96
+
+// fineTune is the §4.2 op-level pass run after each improving
+// iteration. It greedily applies two families of adjustments and
+// returns the improved configuration (nil when nothing helped):
+//
+//  1. Flexible tp/dp mixes inside a stage: starting from a handful of
+//     suffix positions, convert [j, end) between tp- and dp-heavier
+//     tilings of the same device count. Suffixes (rather than arbitrary
+//     subranges) minimize the number of concurrency changes within the
+//     stage, which is what the paper prefers to bound re-layout
+//     collectives.
+//  2. Flexible tensor-parallel dimensions: flip individual operators
+//     to their alternative sharding dim (row↔col, in↔out channel).
+func (s *searcher) fineTune(cfg *config.Config) *config.Config {
+	best := cfg
+	bestScore := s.score(s.estimate(cfg))
+	improved := false
+	budget := fineTuneCandidateCap
+
+	consider := func(c *config.Config) {
+		if c == nil || budget <= 0 {
+			return
+		}
+		budget--
+		h := c.Hash()
+		if s.visited[h] {
+			return
+		}
+		if err := c.Validate(s.graph, s.cluster.TotalDevices()); err != nil {
+			return
+		}
+		s.visited[h] = true
+		e := s.estimate(c)
+		sc := s.score(e)
+		if e.Feasible {
+			s.trace.observe(sc)
+		}
+		if sc < bestScore {
+			best, bestScore = c, sc
+			improved = true
+		}
+	}
+
+	for si := range cfg.Stages {
+		if s.expired() || budget <= 0 {
+			break
+		}
+		st := &best.Stages[si]
+		n := st.NumOps()
+		// Suffix starts: stage start plus up to 6 interior positions.
+		starts := []int{0}
+		for _, f := range []int{8, 4, 2} {
+			if p := n - n/f; p > 0 && p < n {
+				starts = append(starts, p)
+			}
+		}
+		for _, from := range starts {
+			consider(retileRange(best, si, from, true))
+			consider(retileRange(best, si, from, false))
+		}
+	}
+
+	// Dim flips, bottleneck stage first for the remaining budget.
+	est := s.estimate(best)
+	bns := Bottlenecks(est, s.cluster.MemoryBytes)
+	for _, bn := range bns {
+		if s.expired() || budget <= 0 {
+			break
+		}
+		st := &best.Stages[bn.Stage]
+		for j := st.Start; j < st.End && budget > 0; j++ {
+			op := &s.graph.Ops[j]
+			if len(op.Dims) < 2 || best.Stages[bn.Stage].Setting(j).TP < 2 {
+				continue // a dim flip on an unsharded op is a no-op
+			}
+			cur := best.Stages[bn.Stage].Setting(j).Dim
+			for d := range op.Dims {
+				if d == cur {
+					continue
+				}
+				c := best.Clone()
+				c.Stages[bn.Stage].Setting(j).Dim = d
+				consider(c)
+			}
+		}
+	}
+
+	if !improved {
+		return nil
+	}
+	return best
+}
+
+// retileRange converts ops [stage.Start+from, stage.End) between tp-
+// and dp-heavier tilings of the same device count. Returns nil when
+// illegal.
+func retileRange(cfg *config.Config, stage, from int, toDP bool) *config.Config {
+	st := &cfg.Stages[stage]
+	any := false
+	for j := from; j < st.NumOps(); j++ {
+		op := &st.Ops[j]
+		if toDP {
+			if op.TP < 2 || cfg.MicroBatch%(op.DP*2) != 0 {
+				return nil
+			}
+		} else if op.DP < 2 {
+			return nil
+		}
+		any = true
+	}
+	if !any {
+		return nil
+	}
+	c := cfg.Clone()
+	nst := &c.Stages[stage]
+	for j := from; j < nst.NumOps(); j++ {
+		op := &nst.Ops[j]
+		if toDP {
+			op.TP /= 2
+			op.DP *= 2
+			if op.TP < 2 {
+				op.SeqPar = false
+			}
+		} else {
+			op.DP /= 2
+			op.TP *= 2
+			if op.DP < 2 {
+				op.ZeRO = false
+			}
+		}
+	}
+	return c
+}

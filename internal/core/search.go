@@ -1,0 +1,534 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"aceso/internal/config"
+	"aceso/internal/hardware"
+	"aceso/internal/model"
+	"aceso/internal/perfmodel"
+)
+
+// infeasibleScore is the base score of out-of-memory configurations;
+// among infeasible configs, less memory excess scores better, so the
+// search makes progress toward feasibility ("safety first").
+const infeasibleScore = 1e9
+
+// poolCap bounds the unexplored-configuration pool: long searches
+// (the paper runs 200 s) would otherwise retain every candidate ever
+// estimated. When the pool doubles the cap it is pruned back to the
+// best poolCap entries — the restart heuristic only ever wants the
+// best few anyway.
+const poolCap = 4096
+
+// Initializer builds the starting configuration for one pipeline
+// depth. Exp#7 swaps in imbalanced variants.
+type Initializer func(g *model.Graph, devices, stages, mbs int) (*config.Config, error)
+
+// Options tunes the Aceso search.
+type Options struct {
+	// TimeBudget bounds the search wall time (§3; default 2s).
+	TimeBudget time.Duration
+	// MaxHops bounds the multi-hop search depth (default 7, §5.1).
+	MaxHops int
+	// BranchFactor bounds how many ranked candidates each hop recurses
+	// into (default 3).
+	BranchFactor int
+	// TopK is how many final candidates to return (default 5; §5.1
+	// evaluates the top five in the runtime and keeps the fastest).
+	TopK int
+	// StageCounts lists the pipeline depths to search in parallel;
+	// empty selects an automatic set (§4.3).
+	StageCounts []int
+	// InitMicroBatch is the starting microbatch size (default 1).
+	InitMicroBatch int
+	// MaxIterations bounds top-level iterations per stage count
+	// (0 = unlimited; used to make tests deterministic).
+	MaxIterations int
+	// Seed drives every random choice (only used when Heuristic-2 is
+	// disabled) and the profiler database.
+	Seed int64
+	// DisableHeuristic2 explores primitives in random order (the
+	// ablation of Exp#5 / Figure 12).
+	DisableHeuristic2 bool
+	// DisableFineTune skips the op-level fine-tuning pass (§4.2).
+	DisableFineTune bool
+	// ExtendedPrimitives adds the extension primitives (ZeRO-1
+	// optimizer-state sharding) to the searched space — beyond the
+	// paper's Table 1, per §3.2.1's extensibility note.
+	ExtendedPrimitives bool
+	// Initializer overrides the default balanced initial configuration.
+	Initializer Initializer
+	// CollectTrace records per-iteration statistics and the
+	// convergence curve (Exp#5–7).
+	CollectTrace bool
+	// Model optionally supplies a pre-built performance model (shared
+	// profiling database); one is created when nil.
+	Model *perfmodel.Model
+}
+
+func (o Options) withDefaults() Options {
+	if o.TimeBudget <= 0 {
+		o.TimeBudget = 2 * time.Second
+	}
+	if o.MaxHops <= 0 {
+		o.MaxHops = 7
+	}
+	if o.BranchFactor <= 0 {
+		o.BranchFactor = 3
+	}
+	if o.TopK <= 0 {
+		o.TopK = 5
+	}
+	if o.InitMicroBatch <= 0 {
+		o.InitMicroBatch = 1
+	}
+	if o.Initializer == nil {
+		o.Initializer = config.Balanced
+	}
+	return o
+}
+
+// Candidate pairs a configuration with its estimate and score.
+type Candidate struct {
+	Config   *config.Config
+	Estimate *perfmodel.Estimate
+	Score    float64
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	Best       Candidate
+	TopK       []Candidate // ranked, deduplicated, ≤ Options.TopK
+	Explored   int         // configurations estimated (Exp#4's metric)
+	Iterations int         // top-level iterations across all workers
+	Elapsed    time.Duration
+	Trace      *Trace // nil unless Options.CollectTrace
+}
+
+// defaultStageCounts picks the pipeline depths searched in parallel.
+func defaultStageCounts(devices, ops int) []int {
+	max := devices
+	if ops < max {
+		max = ops
+	}
+	var out []int
+	for p := 1; p <= max && p <= 8; p++ {
+		out = append(out, p)
+	}
+	for _, p := range []int{12, 16, 24, 32} {
+		if p <= max {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Search runs Aceso's iterative bottleneck-alleviation search for
+// graph g over cluster cl (Algorithm 1), with one goroutine per
+// candidate pipeline depth (§4.3), and returns the merged result.
+func Search(g *model.Graph, cl hardware.Cluster, opts Options) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cl.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	start := time.Now()
+	deadline := start.Add(opts.TimeBudget)
+
+	pm := opts.Model
+	if pm == nil {
+		pm = perfmodel.New(g, cl, opts.Seed)
+	}
+	stageCounts := opts.StageCounts
+	if len(stageCounts) == 0 {
+		stageCounts = defaultStageCounts(cl.TotalDevices(), len(g.Ops))
+	}
+
+	var trace *Trace
+	if opts.CollectTrace {
+		trace = newTrace(start)
+	}
+
+	type workerOut struct {
+		topK       []Candidate
+		explored   int
+		iterations int
+		err        error
+	}
+	outs := make([]workerOut, len(stageCounts))
+	var wg sync.WaitGroup
+	for wi, p := range stageCounts {
+		wg.Add(1)
+		go func(wi, p int) {
+			defer wg.Done()
+			init, err := opts.Initializer(g, cl.TotalDevices(), p, opts.InitMicroBatch)
+			if err != nil {
+				outs[wi] = workerOut{err: err}
+				return
+			}
+			s := &searcher{
+				graph:    g,
+				cluster:  cl,
+				pm:       pm,
+				opts:     opts,
+				deadline: deadline,
+				visited:  make(map[uint64]bool),
+				pool:     make(map[uint64]*Candidate),
+				cache:    make(map[uint64]*perfmodel.Estimate),
+				rng:      rand.New(rand.NewSource(opts.Seed + int64(p)*7919)),
+				trace:    trace,
+			}
+			topK, iters := s.run(init)
+			outs[wi] = workerOut{topK: topK, explored: s.explored, iterations: iters}
+		}(wi, p)
+	}
+	wg.Wait()
+
+	res := &Result{Trace: trace}
+	var all []Candidate
+	var firstErr error
+	ok := false
+	for _, o := range outs {
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			continue
+		}
+		ok = true
+		all = append(all, o.topK...)
+		res.Explored += o.explored
+		res.Iterations += o.iterations
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: no pipeline depth is searchable: %w", firstErr)
+	}
+	sort.SliceStable(all, func(a, b int) bool {
+		if all[a].Score != all[b].Score {
+			return all[a].Score < all[b].Score
+		}
+		return all[a].Config.Hash() < all[b].Config.Hash()
+	})
+	seen := make(map[uint64]bool)
+	for _, c := range all {
+		h := c.Config.Hash()
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		res.TopK = append(res.TopK, c)
+		if len(res.TopK) == opts.TopK {
+			break
+		}
+	}
+	if len(res.TopK) == 0 {
+		return nil, fmt.Errorf("core: search produced no candidates")
+	}
+	res.Best = res.TopK[0]
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// searcher is the per-stage-count search state.
+type searcher struct {
+	graph    *model.Graph
+	cluster  hardware.Cluster
+	pm       *perfmodel.Model
+	opts     Options
+	deadline time.Time
+
+	visited  map[uint64]bool                // every config ever estimated (dedup, §4.3)
+	pool     map[uint64]*Candidate          // unexplored configs (Algorithm 1)
+	cache    map[uint64]*perfmodel.Estimate // estimate memo
+	explored int
+	rng      *rand.Rand
+	trace    *Trace
+}
+
+func (s *searcher) expired() bool { return time.Now().After(s.deadline) }
+
+// estimate memoizes performance-model evaluations by semantic hash and
+// counts unique explored configurations.
+func (s *searcher) estimate(cfg *config.Config) *perfmodel.Estimate {
+	h := cfg.Hash()
+	if e, ok := s.cache[h]; ok {
+		return e
+	}
+	e := s.pm.Estimate(cfg)
+	s.cache[h] = e
+	s.explored++
+	return e
+}
+
+// score maps an estimate to a single comparable figure: iteration time
+// when feasible; a large penalty plus the memory excess otherwise so
+// that approaching feasibility still registers as progress.
+func (s *searcher) score(e *perfmodel.Estimate) float64 {
+	if e.Feasible {
+		return e.IterTime
+	}
+	return infeasibleScore * (1 + e.PeakMem/s.cluster.MemoryBytes)
+}
+
+// run executes Algorithm 1 for one pipeline depth and returns its
+// local top-K candidates and iteration count.
+func (s *searcher) run(init *config.Config) ([]Candidate, int) {
+	cur := init
+	s.visited[init.Hash()] = true
+	var topK []Candidate
+	record := func(cfg *config.Config) {
+		e := s.estimate(cfg)
+		sc := s.score(e)
+		if e.Feasible {
+			s.trace.observe(sc)
+		}
+		topK = insertTopK(topK, Candidate{Config: cfg, Estimate: e, Score: sc}, s.opts.TopK)
+	}
+	record(cur)
+
+	iters := 0
+	for !s.expired() {
+		if s.opts.MaxIterations > 0 && iters >= s.opts.MaxIterations {
+			break
+		}
+		iters++
+		initScore := s.score(s.estimate(cur))
+
+		var found *config.Config
+		hops := 0
+		tries := 0
+		bns := Bottlenecks(s.estimate(cur), s.cluster.MemoryBytes)
+		for _, bn := range bns {
+			tries++
+			found, hops = s.multiHop(cur, bn, 0, initScore)
+			if found != nil || s.expired() {
+				break
+			}
+		}
+
+		if found != nil {
+			if !s.opts.DisableFineTune {
+				if ft := s.fineTune(found); ft != nil {
+					found = ft
+				}
+			}
+			cur = found
+			record(cur)
+			s.trace.addIteration(IterationTrace{
+				StageCount:      init.NumStages(),
+				BottleneckTries: tries,
+				Hops:            hops,
+				Improved:        true,
+			})
+			continue
+		}
+		s.trace.addIteration(IterationTrace{
+			StageCount: init.NumStages(),
+			Improved:   false,
+		})
+		// No improvement reachable from cur: restart from the most
+		// promising unexplored configuration (Algorithm 1 line 13).
+		next := s.popBestUnexplored()
+		if next == nil {
+			break // converged for this stage count
+		}
+		cur = next
+	}
+	return topK, iters
+}
+
+// multiHop is Algorithm 2: explore primitive groups for the bottleneck
+// in Heuristic-2 order; return the first configuration scoring better
+// than initScore, recursing up to MaxHops.
+func (s *searcher) multiHop(cfg *config.Config, bn Bottleneck, hop int, initScore float64) (*config.Config, int) {
+	if hop >= s.opts.MaxHops || s.expired() {
+		return nil, 0
+	}
+	resources := bn.Resources
+	if s.opts.DisableHeuristic2 {
+		resources = append([]Resource(nil), resources...)
+		s.rng.Shuffle(len(resources), func(i, j int) {
+			resources[i], resources[j] = resources[j], resources[i]
+		})
+	}
+	for _, res := range resources {
+		prims := Eligible(res)
+		if s.opts.ExtendedPrimitives {
+			prims = EligibleExtended(res)
+		}
+		if s.opts.DisableHeuristic2 {
+			prims = append([]*Primitive(nil), prims...)
+			s.rng.Shuffle(len(prims), func(i, j int) {
+				prims[i], prims[j] = prims[j], prims[i]
+			})
+		}
+		var cands []Candidate
+		for _, prim := range prims {
+			for _, c := range prim.apply(s, cfg, bn.Stage) {
+				if c == nil {
+					continue
+				}
+				if err := c.Validate(s.graph, s.cluster.TotalDevices()); err != nil {
+					continue
+				}
+				c = s.attachRecompute(c)
+				h := c.Hash()
+				if s.visited[h] {
+					continue
+				}
+				s.visited[h] = true
+				e := s.estimate(c)
+				sc := s.score(e)
+				if e.Feasible {
+					s.trace.observe(sc)
+				}
+				if sc < initScore {
+					return c, hop + 1
+				}
+				cand := Candidate{Config: c, Estimate: e, Score: sc}
+				s.pool[h] = &cand
+				if len(s.pool) > 2*poolCap {
+					s.prunePool()
+				}
+				cands = append(cands, cand)
+			}
+			if s.expired() {
+				return nil, 0
+			}
+		}
+		// Heuristic-2: best estimated performance first.
+		if s.opts.DisableHeuristic2 {
+			s.rng.Shuffle(len(cands), func(i, j int) {
+				cands[i], cands[j] = cands[j], cands[i]
+			})
+		} else {
+			sort.SliceStable(cands, func(a, b int) bool {
+				if cands[a].Score != cands[b].Score {
+					return cands[a].Score < cands[b].Score
+				}
+				return cands[a].Config.Hash() < cands[b].Config.Hash()
+			})
+		}
+		limit := s.opts.BranchFactor
+		if limit > len(cands) {
+			limit = len(cands)
+		}
+		for i := 0; i < limit; i++ {
+			nb := Bottlenecks(cands[i].Estimate, s.cluster.MemoryBytes)
+			if len(nb) == 0 {
+				continue
+			}
+			if r, h := s.multiHop(cands[i].Config, nb[0], hop+1, initScore); r != nil {
+				return r, h
+			}
+			if s.expired() {
+				return nil, 0
+			}
+		}
+	}
+	return nil, 0
+}
+
+// attachRecompute implements the §4.3 combination "attach inc/dec-rc
+// to all other primitives": after any reconfiguration, greedily add
+// recomputation in over-memory stages (largest activations first)
+// until they fit. Under-used recomputation removal is left to explicit
+// dec-rc hops.
+func (s *searcher) attachRecompute(cfg *config.Config) *config.Config {
+	e := s.estimate(cfg)
+	if e.Feasible {
+		return cfg
+	}
+	out := cfg
+	for si := range out.Stages {
+		if e.Stages[si].PeakMem <= s.cluster.MemoryBytes {
+			continue
+		}
+		cands := applyIncRC(s, out, si)
+		if len(cands) == 0 {
+			continue
+		}
+		// applyIncRC's candidates grow greedily; take the first that
+		// fixes this stage, else the most aggressive.
+		pick := cands[len(cands)-1]
+		for _, c := range cands {
+			if s.estimate(c).Stages[si].PeakMem <= s.cluster.MemoryBytes {
+				pick = c
+				break
+			}
+		}
+		out = pick
+		e = s.estimate(out)
+		if e.Feasible {
+			break
+		}
+	}
+	return out
+}
+
+// prunePool drops the worst-scoring half of an oversized pool.
+func (s *searcher) prunePool() {
+	type entry struct {
+		h uint64
+		c *Candidate
+	}
+	all := make([]entry, 0, len(s.pool))
+	for h, c := range s.pool {
+		all = append(all, entry{h, c})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].c.Score != all[b].c.Score {
+			return all[a].c.Score < all[b].c.Score
+		}
+		return all[a].h < all[b].h
+	})
+	for _, e := range all[poolCap:] {
+		delete(s.pool, e.h)
+	}
+}
+
+// popBestUnexplored removes and returns the best-scoring unexplored
+// configuration (deterministic: ties broken by hash).
+func (s *searcher) popBestUnexplored() *config.Config {
+	var bestH uint64
+	var best *Candidate
+	for h, c := range s.pool {
+		if best == nil || c.Score < best.Score || c.Score == best.Score && h < bestH {
+			best, bestH = c, h
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	delete(s.pool, bestH)
+	return best.Config
+}
+
+// insertTopK keeps a ranked, hash-deduplicated list of the k best
+// candidates.
+func insertTopK(list []Candidate, c Candidate, k int) []Candidate {
+	h := c.Config.Hash()
+	for _, x := range list {
+		if x.Config.Hash() == h {
+			return list
+		}
+	}
+	list = append(list, c)
+	sort.SliceStable(list, func(a, b int) bool {
+		if list[a].Score != list[b].Score {
+			return list[a].Score < list[b].Score
+		}
+		return list[a].Config.Hash() < list[b].Config.Hash()
+	})
+	if len(list) > k {
+		list = list[:k]
+	}
+	return list
+}

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"aceso/internal/config"
+	"aceso/internal/hardware"
+	"aceso/internal/model"
+	"aceso/internal/perfmodel"
+	"aceso/internal/pipesim"
+)
+
+// quickOpts returns search options small enough for unit tests but
+// large enough to exercise the full machinery.
+func quickOpts() Options {
+	return Options{
+		TimeBudget:  800 * time.Millisecond,
+		StageCounts: []int{1, 2, 4},
+		Seed:        1,
+	}
+}
+
+func TestSearchImprovesOverInitial(t *testing.T) {
+	g, _ := model.GPT3("350M")
+	cl := hardware.DGX1V100(1).Restrict(4)
+	res, err := Search(g, cl, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Best.Estimate.Feasible {
+		t.Fatal("best config infeasible")
+	}
+	// Compare against each searched depth's initial configuration.
+	pm := perfmodel.New(g, cl, 1)
+	bestInit := 0.0
+	for _, p := range []int{1, 2, 4} {
+		init, err := config.Balanced(g, 4, p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := pm.Estimate(init)
+		if est.Feasible && (bestInit == 0 || est.IterTime < bestInit) {
+			bestInit = est.IterTime
+		}
+	}
+	if bestInit > 0 && res.Best.Score > bestInit {
+		t.Errorf("search result %.3f is worse than the best initial config %.3f",
+			res.Best.Score, bestInit)
+	}
+	if res.Explored < 10 {
+		t.Errorf("Explored = %d, suspiciously few", res.Explored)
+	}
+	if res.Iterations < 1 {
+		t.Errorf("Iterations = %d", res.Iterations)
+	}
+}
+
+func TestSearchFindsFeasibleUnderMemoryPressure(t *testing.T) {
+	// GPT-3 2.6B on 8 GPUs does not fit without recomputation or deep
+	// pipelining; the search must reach feasibility ("safety first").
+	g, _ := model.GPT3("2.6B")
+	cl := hardware.DGX1V100(1)
+	opts := quickOpts()
+	opts.TimeBudget = 2 * time.Second
+	opts.StageCounts = []int{2, 4, 8}
+	res, err := Search(g, cl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Best.Estimate.Feasible {
+		t.Fatalf("no feasible config found (score %v)", res.Best.Score)
+	}
+	if res.Best.Estimate.PeakMem > cl.MemoryBytes {
+		t.Error("best config exceeds device memory")
+	}
+}
+
+func TestSearchTopKRankedAndDistinct(t *testing.T) {
+	g, _ := model.GPT3("350M")
+	cl := hardware.DGX1V100(1).Restrict(4)
+	res, err := Search(g, cl, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TopK) < 2 {
+		t.Fatalf("TopK has %d entries", len(res.TopK))
+	}
+	seen := map[uint64]bool{}
+	for i, c := range res.TopK {
+		h := c.Config.Hash()
+		if seen[h] {
+			t.Error("TopK contains duplicates")
+		}
+		seen[h] = true
+		if i > 0 && res.TopK[i-1].Score > c.Score {
+			t.Error("TopK not sorted")
+		}
+	}
+	if res.Best.Config.Hash() != res.TopK[0].Config.Hash() {
+		t.Error("Best != TopK[0]")
+	}
+}
+
+func TestSearchBestConfigValid(t *testing.T) {
+	g, _ := model.T5("770M")
+	cl := hardware.DGX1V100(1).Restrict(4)
+	res, err := Search(g, cl, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Best.Config.Validate(g, 4); err != nil {
+		t.Fatalf("best config invalid: %v", err)
+	}
+	// And executable by the simulator.
+	if _, err := pipesim.Simulate(newSearcher(t, g, 4).pm, res.Best.Config, 1); err != nil {
+		t.Fatalf("best config not simulatable: %v", err)
+	}
+}
+
+func TestSearchWithoutHeuristic2StillWorks(t *testing.T) {
+	g, _ := model.GPT3("350M")
+	cl := hardware.DGX1V100(1).Restrict(4)
+	opts := quickOpts()
+	opts.DisableHeuristic2 = true
+	res, err := Search(g, cl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Best.Estimate.Feasible {
+		t.Error("random-order search found no feasible config")
+	}
+}
+
+func TestSearchRespectsMaxIterations(t *testing.T) {
+	g, _ := model.GPT3("350M")
+	cl := hardware.DGX1V100(1).Restrict(4)
+	opts := quickOpts()
+	opts.TimeBudget = 30 * time.Second // budget not the binding limit
+	opts.MaxIterations = 2
+	opts.StageCounts = []int{2}
+	start := time.Now()
+	res, err := Search(g, cl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 2 {
+		t.Errorf("Iterations = %d, want ≤ 2", res.Iterations)
+	}
+	if time.Since(start) > 20*time.Second {
+		t.Error("MaxIterations did not bound the search")
+	}
+}
+
+func TestSearchTraceCollection(t *testing.T) {
+	g, _ := model.GPT3("350M")
+	cl := hardware.DGX1V100(1).Restrict(4)
+	opts := quickOpts()
+	opts.CollectTrace = true
+	res, err := Search(g, cl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	if tr == nil {
+		t.Fatal("trace not collected")
+	}
+	if len(tr.Iterations()) == 0 {
+		t.Error("no iteration records")
+	}
+	conv := tr.Convergence()
+	if len(conv) == 0 {
+		t.Fatal("no convergence points")
+	}
+	for i := 1; i < len(conv); i++ {
+		if conv[i].Score >= conv[i-1].Score {
+			t.Error("convergence curve must be strictly decreasing")
+		}
+		if conv[i].Elapsed < conv[i-1].Elapsed {
+			t.Error("convergence timestamps must be monotone")
+		}
+	}
+	hist := tr.TriesHistogram()
+	total := 0
+	for _, v := range hist {
+		total += v
+	}
+	improving := 0
+	for _, it := range tr.Iterations() {
+		if it.Improved {
+			improving++
+		}
+	}
+	if total != improving {
+		t.Errorf("TriesHistogram sums to %d, want %d improving iterations", total, improving)
+	}
+}
+
+func TestSearchInitializers(t *testing.T) {
+	// Exp#7: imbalanced initial configurations must still converge to
+	// a feasible result in the same ballpark as the balanced start.
+	g, _ := model.GPT3("350M")
+	cl := hardware.DGX1V100(1).Restrict(4)
+	scores := map[string]float64{}
+	for name, init := range map[string]Initializer{
+		"balanced":      config.Balanced,
+		"imbalance-op":  config.ImbalancedOps,
+		"imbalance-gpu": config.ImbalancedGPUs,
+	} {
+		opts := quickOpts()
+		opts.TimeBudget = 1500 * time.Millisecond
+		opts.Initializer = init
+		res, err := Search(g, cl, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Best.Estimate.Feasible {
+			t.Fatalf("%s: infeasible result", name)
+		}
+		scores[name] = res.Best.Score
+	}
+	base := scores["balanced"]
+	for name, sc := range scores {
+		if sc > base*1.5 {
+			t.Errorf("%s converged to %.3f, >1.5× balanced %.3f", name, sc, base)
+		}
+	}
+}
+
+func TestSearchErrorPaths(t *testing.T) {
+	g, _ := model.GPT3("350M")
+	cl := hardware.DGX1V100(1).Restrict(4)
+	// Invalid cluster.
+	bad := cl
+	bad.MemoryBytes = 0
+	if _, err := Search(g, bad, quickOpts()); err == nil {
+		t.Error("invalid cluster accepted")
+	}
+	// Unsatisfiable stage counts.
+	opts := quickOpts()
+	opts.StageCounts = []int{64}
+	if _, err := Search(g, cl, opts); err == nil {
+		t.Error("stage count beyond devices accepted")
+	}
+	// Invalid graph.
+	bg := model.Uniform(4, 1e9, 1e6, 1e5, 64)
+	bg.GlobalBatch = 0
+	if _, err := Search(bg, cl, quickOpts()); err == nil {
+		t.Error("invalid graph accepted")
+	}
+}
+
+func TestDefaultStageCounts(t *testing.T) {
+	got := defaultStageCounts(32, 1000)
+	if got[0] != 1 {
+		t.Error("stage counts must include 1")
+	}
+	max := 0
+	for _, p := range got {
+		if p > max {
+			max = p
+		}
+	}
+	if max != 32 {
+		t.Errorf("max stage count = %d, want 32", max)
+	}
+	// Bounded by ops.
+	got = defaultStageCounts(32, 3)
+	for _, p := range got {
+		if p > 3 {
+			t.Errorf("stage count %d exceeds op count 3", p)
+		}
+	}
+}
+
+func TestInsertTopK(t *testing.T) {
+	g := model.Uniform(8, 1e9, 1e6, 1e5, 64)
+	mk := func(mbs int, score float64) Candidate {
+		c, _ := config.Balanced(g, 4, 2, mbs)
+		return Candidate{Config: c, Score: score}
+	}
+	var list []Candidate
+	list = insertTopK(list, mk(1, 3), 2)
+	list = insertTopK(list, mk(2, 1), 2)
+	list = insertTopK(list, mk(4, 2), 2)
+	if len(list) != 2 || list[0].Score != 1 || list[1].Score != 2 {
+		t.Errorf("insertTopK = %+v", list)
+	}
+	// Duplicate hash ignored.
+	list = insertTopK(list, mk(2, 0.5), 2)
+	if list[0].Score != 1 {
+		t.Error("duplicate config replaced existing entry")
+	}
+}
+
+func TestFineTuneFindsDimOrTilingImprovements(t *testing.T) {
+	// Start from a deliberately bad tiling (everything tp) on a model
+	// where small ops shard poorly; fine-tuning should find a better
+	// mixed tiling or dim assignment.
+	g, _ := model.WideResNet("0.5B")
+	s := newSearcher(t, g, 8)
+	cfg := mustBalanced(t, g, 8, 1, 8) // tp=8 everywhere
+	before := s.score(s.estimate(cfg))
+	ft := s.fineTune(cfg)
+	if ft == nil {
+		t.Fatal("fine-tune found nothing on an all-tp Wide-ResNet")
+	}
+	after := s.score(s.estimate(ft))
+	if after >= before {
+		t.Errorf("fine-tune did not improve: %.3f → %.3f", before, after)
+	}
+	if err := ft.Validate(g, 8); err != nil {
+		t.Fatalf("fine-tuned config invalid: %v", err)
+	}
+}
+
+func TestPoolPruneKeepsBest(t *testing.T) {
+	g := model.Uniform(32, 1e9, 1e6, 1e5, 1<<20)
+	s := newSearcher(t, g, 4)
+	base, err := config.Balanced(g, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the pool well past 2×cap with distinct configs: encode a
+	// counter into the recompute bit pattern (16 ops in stage 0 give
+	// 65536 distinct hashes).
+	for n := 1; n <= 2*poolCap+10; n++ {
+		c := base.Clone()
+		for j := 0; j < len(c.Stages[0].Ops); j++ {
+			c.Stages[0].Ops[j].Recompute = (n>>j)&1 == 1
+		}
+		s.pool[c.Hash()] = &Candidate{Config: c, Score: float64(n)}
+	}
+	if len(s.pool) != 2*poolCap+10 {
+		t.Fatalf("setup produced %d distinct configs", len(s.pool))
+	}
+	s.prunePool()
+	if len(s.pool) != poolCap {
+		t.Fatalf("pool size after prune = %d, want %d", len(s.pool), poolCap)
+	}
+	// The best-scoring entry must survive.
+	found := false
+	for _, c := range s.pool {
+		if c.Score == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("prune dropped the best entry")
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// IterationTrace records one iteration of the top-level search loop —
+// the raw material of Exp#5 (Figure 11).
+type IterationTrace struct {
+	StageCount      int
+	BottleneckTries int  // bottlenecks attempted before an improvement (Fig 11a)
+	Hops            int  // hops of the improving reconfiguration (Fig 11b)
+	Improved        bool // false when the iteration fell back to the unexplored pool
+}
+
+// ConvergencePoint is one sample of the best-found estimated iteration
+// time over search wall time — the curves of Figures 12–14.
+type ConvergencePoint struct {
+	Elapsed time.Duration
+	Score   float64 // estimated iteration time (seconds) of the best config so far
+}
+
+// Trace aggregates search statistics across the parallel per-stage-
+// count workers. It is safe for concurrent use.
+type Trace struct {
+	mu          sync.Mutex
+	iterations  []IterationTrace
+	convergence []ConvergencePoint
+	bestScore   float64
+	start       time.Time
+}
+
+// newTrace returns a Trace anchored at the search start time.
+func newTrace(start time.Time) *Trace {
+	return &Trace{start: start, bestScore: infeasibleScore * 1e3}
+}
+
+func (t *Trace) addIteration(it IterationTrace) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.iterations = append(t.iterations, it)
+	t.mu.Unlock()
+}
+
+func (t *Trace) observe(score float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if score < t.bestScore {
+		t.bestScore = score
+		t.convergence = append(t.convergence, ConvergencePoint{
+			Elapsed: time.Since(t.start),
+			Score:   score,
+		})
+	}
+	t.mu.Unlock()
+}
+
+// Iterations returns a copy of the per-iteration records.
+func (t *Trace) Iterations() []IterationTrace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]IterationTrace, len(t.iterations))
+	copy(out, t.iterations)
+	return out
+}
+
+// Convergence returns a copy of the best-score-over-time curve.
+func (t *Trace) Convergence() []ConvergencePoint {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]ConvergencePoint, len(t.convergence))
+	copy(out, t.convergence)
+	return out
+}
+
+// TriesHistogram buckets BottleneckTries over improving iterations:
+// hist[k] = number of iterations that needed k+1 bottleneck attempts.
+func (t *Trace) TriesHistogram() []int {
+	var hist []int
+	for _, it := range t.Iterations() {
+		if !it.Improved {
+			continue
+		}
+		for len(hist) < it.BottleneckTries {
+			hist = append(hist, 0)
+		}
+		hist[it.BottleneckTries-1]++
+	}
+	return hist
+}
+
+// HopsHistogram buckets Hops over improving iterations.
+func (t *Trace) HopsHistogram() []int {
+	var hist []int
+	for _, it := range t.Iterations() {
+		if !it.Improved {
+			continue
+		}
+		for len(hist) < it.Hops {
+			hist = append(hist, 0)
+		}
+		hist[it.Hops-1]++
+	}
+	return hist
+}

@@ -1,0 +1,88 @@
+package exps
+
+import (
+	"fmt"
+	"io"
+
+	"aceso/internal/core"
+	"aceso/internal/hardware"
+	"aceso/internal/pipesim"
+	"aceso/internal/tablefmt"
+)
+
+// AblationRow is one search-design variant's outcome on the reference
+// workload (GPT-3 1.3B on 4 GPUs).
+type AblationRow struct {
+	Variant  string
+	BestIter float64 // best estimated iteration time (s)
+	Explored int
+}
+
+// Ablations quantifies this implementation's own design choices —
+// beyond the paper's ablations — by re-running the reference search
+// with each knob flipped: branch factor of the multi-hop recursion,
+// the fine-tuning pass, Heuristic-2, and the extended (ZeRO) primitive
+// space. It also reports the 1F1B-vs-GPipe memory ratio that justifies
+// Eq. 1's scheduling premise.
+func Ablations(set Settings) ([]AblationRow, float64, error) {
+	set = set.withDefaults()
+	g, err := buildModel("gpt3", "1.3B")
+	if err != nil {
+		return nil, 0, err
+	}
+	cl := hardware.DGX1V100(1).Restrict(4)
+
+	variants := []struct {
+		name string
+		mut  func(*core.Options)
+	}{
+		{"baseline (BranchFactor=3, fine-tune, H2)", nil},
+		{"BranchFactor=1", func(o *core.Options) { o.BranchFactor = 1 }},
+		{"BranchFactor=6", func(o *core.Options) { o.BranchFactor = 6 }},
+		{"no fine-tuning", func(o *core.Options) { o.DisableFineTune = true }},
+		{"no Heuristic-2 (random order)", func(o *core.Options) { o.DisableHeuristic2 = true }},
+		{"extended primitives (ZeRO)", func(o *core.Options) { o.ExtendedPrimitives = true }},
+	}
+	var rows []AblationRow
+	for _, v := range variants {
+		run, err := runAceso(g, cl, set, v.mut)
+		if err != nil {
+			return nil, 0, fmt.Errorf("exps: ablation %q: %w", v.name, err)
+		}
+		rows = append(rows, AblationRow{
+			Variant:  v.name,
+			BestIter: run.Predicted.IterTime,
+			Explored: run.Explored,
+		})
+	}
+
+	// Scheduling ablation: GPipe vs 1F1B peak memory on a 4-stage
+	// pipeline (the Eq. 1 premise).
+	pmRun, err := runAceso(g, cl, set, func(o *core.Options) { o.StageCounts = []int{4} })
+	if err != nil {
+		return nil, 0, err
+	}
+	memRatio := 0.0
+	if pmRun.Best != nil {
+		pm := pmModel(g, cl, set.Seed)
+		if one, err := pipesim.Simulate(pm, pmRun.Best, set.Seed); err == nil {
+			if gp, err := pipesim.SimulateSchedule(pm, pmRun.Best, set.Seed, pipesim.GPipe); err == nil && one.PeakMem > 0 {
+				memRatio = gp.PeakMem / one.PeakMem
+			}
+		}
+	}
+	return rows, memRatio, nil
+}
+
+// RenderAblations prints the design-choice table.
+func RenderAblations(w io.Writer, rows []AblationRow, gpipeMemRatio float64) {
+	fmt.Fprintln(w, "Search-design ablations (GPT-3 1.3B, 4 GPUs; lower iteration time is better)")
+	t := &tablefmt.Table{Header: []string{"variant", "best iter (s)", "configs explored"}}
+	for _, r := range rows {
+		t.Add(r.Variant, fmt.Sprintf("%.3f", r.BestIter), r.Explored)
+	}
+	t.Render(w)
+	if gpipeMemRatio > 0 {
+		fmt.Fprintf(w, "\nscheduling: GPipe peak memory is %.2f× 1F1B's on the 4-stage plan (why Eq.1 assumes 1F1B)\n", gpipeMemRatio)
+	}
+}

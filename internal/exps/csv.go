@@ -1,0 +1,116 @@
+package exps
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// CSV writers produce machine-readable versions of every experiment's
+// rows, so the figures can be re-plotted outside this repository
+// (cmd/acesobench -csv <dir>).
+
+func writeAll(w io.Writer, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.WriteAll(rows); err != nil {
+		return fmt.Errorf("exps: csv: %w", err)
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+func d(v int) string     { return strconv.Itoa(v) }
+
+// WriteCSV emits every end-to-end cell (the data behind Figure 7,
+// Figure 8, Tables 3–5 and Figures 15–16).
+func (e *E2E) WriteCSV(w io.Writer) error {
+	rows := [][]string{{
+		"family", "size", "gpus",
+		"aceso_iter_s", "megatron_iter_s", "alpa_iter_s",
+		"aceso_tflops", "megatron_tflops", "alpa_tflops",
+		"aceso_search_s", "alpa_search_s",
+		"pred_time_s", "actual_time_s", "pred_mem_bytes", "actual_mem_bytes",
+	}}
+	for _, c := range e.Cells {
+		rows = append(rows, []string{
+			c.Family, c.Size, d(c.GPUs),
+			f(c.AcesoIter), f(c.MegatronIter), f(c.AlpaIter),
+			f(c.AcesoTF), f(c.MegatronTF), f(c.AlpaTF),
+			f(c.AcesoSearch), f(c.AlpaSearch),
+			f(c.PredTime), f(c.ActualTime), f(c.PredMem), f(c.ActualMem),
+		})
+	}
+	return writeAll(w, rows)
+}
+
+// WriteFig1CSV emits the configuration-space counts.
+func WriteFig1CSV(w io.Writer, rows []Fig1Row) error {
+	out := [][]string{{"layers", "log10_2mech", "log10_3mech", "log10_4mech"}}
+	for _, r := range rows {
+		out = append(out, []string{d(r.Layers), f(r.Log10Two), f(r.Log10Three), f(r.Log10Four)})
+	}
+	return writeAll(w, out)
+}
+
+// WriteFig9CSV emits the deep-model scalability rows.
+func WriteFig9CSV(w io.Writer, rows []Fig9Row) error {
+	out := [][]string{{"layers", "aceso_search_s", "aceso_iter_s", "alpa_search_s", "alpa_iter_s", "alpa_failed"}}
+	for _, r := range rows {
+		out = append(out, []string{
+			d(r.Layers), f(r.AcesoSearch), f(r.AcesoIter),
+			f(r.AlpaSearch), f(r.AlpaIter), strconv.FormatBool(r.AlpaFailed),
+		})
+	}
+	return writeAll(w, out)
+}
+
+// WriteFig10CSV emits the DP-vs-Aceso exploration rows.
+func WriteFig10CSV(w io.Writer, rows []Fig10Row) error {
+	out := [][]string{{"model", "gpus", "dp_explored", "aceso_explored", "dp_iter_s", "aceso_iter_s"}}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Model, d(r.GPUs), d(r.DPExplored), d(r.AcesoExplored),
+			f(r.DPIter), f(r.AcesoIter),
+		})
+	}
+	return writeAll(w, out)
+}
+
+// WriteFig11CSV emits the heuristic-efficiency histograms.
+func WriteFig11CSV(w io.Writer, r *Fig11Result) error {
+	out := [][]string{{"metric", "bucket", "count"}}
+	for i, v := range r.Tries {
+		out = append(out, []string{"bottleneck_tries", d(i + 1), d(v)})
+	}
+	for i, v := range r.Hops {
+		out = append(out, []string{"hops", d(i + 1), d(v)})
+	}
+	return writeAll(w, out)
+}
+
+// WriteCurvesCSV emits convergence curves: one row per (group,
+// variant, time fraction).
+func WriteCurvesCSV(w io.Writer, groups map[string][]Curve) error {
+	out := [][]string{{"group", "variant", "budget_fraction", "elapsed_s", "best_iter_s"}}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		for _, c := range groups[key] {
+			for i, v := range c.Best {
+				frac := float64(i+1) / float64(len(c.Best))
+				elapsed := time.Duration(frac * float64(c.Budget))
+				out = append(out, []string{
+					key, c.Label, f(frac), f(elapsed.Seconds()), f(v),
+				})
+			}
+		}
+	}
+	return writeAll(w, out)
+}

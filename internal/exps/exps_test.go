@@ -1,0 +1,313 @@
+package exps
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"aceso/internal/core"
+)
+
+// fast returns settings tuned for unit tests.
+func fast() Settings {
+	return Settings{Budget: 250 * time.Millisecond, Seed: 1, Sizes: 2}
+}
+
+func TestFig1Growth(t *testing.T) {
+	rows := Fig1(nil)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for i, r := range rows {
+		if r.Log10Two >= r.Log10Three || r.Log10Three >= r.Log10Four {
+			t.Errorf("row %d: mechanism counts not increasing: %+v", i, r)
+		}
+		if i > 0 && rows[i].Log10Four <= rows[i-1].Log10Four {
+			t.Errorf("row %d: space must grow with layers", i)
+		}
+	}
+	// Sanity: 2-layer, 2-mech on 16 devices = 5² = 25 → log10 ≈ 1.4.
+	r := ConfigSpaceSize(2, 16)
+	if r.Log10Two < 1.3 || r.Log10Two > 1.5 {
+		t.Errorf("ConfigSpaceSize(2,16).Log10Two = %v, want ≈1.4", r.Log10Two)
+	}
+	var buf bytes.Buffer
+	RenderFig1(&buf, rows)
+	if !strings.Contains(buf.String(), "Figure 1") {
+		t.Error("render missing title")
+	}
+}
+
+func TestE2ESmall(t *testing.T) {
+	e, err := RunE2E(fast(), []string{"gpt3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(e.Cells))
+	}
+	for _, c := range e.Cells {
+		if c.AcesoIter <= 0 {
+			t.Errorf("%s-%s: Aceso produced no simulated time", c.Family, c.Size)
+		}
+		if c.MegatronIter <= 0 {
+			t.Errorf("%s-%s: Megatron produced no simulated time", c.Family, c.Size)
+		}
+		if c.AlpaIter <= 0 {
+			t.Errorf("%s-%s: Alpa produced no simulated time", c.Family, c.Size)
+		}
+		if c.PredTime <= 0 || c.ActualTime <= 0 || c.PredMem <= 0 || c.ActualMem <= 0 {
+			t.Errorf("%s-%s: accuracy fields missing", c.Family, c.Size)
+		}
+	}
+	var buf bytes.Buffer
+	e.RenderFig7(&buf)
+	e.RenderFig8(&buf)
+	e.RenderTables(&buf)
+	e.RenderFig15(&buf)
+	e.RenderFig16(&buf)
+	out := buf.String()
+	for _, want := range []string{"Figure 7", "Figure 8", "Table 3", "Figure 15", "Figure 16"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q", want)
+		}
+	}
+}
+
+func TestE2EUnknownFamily(t *testing.T) {
+	if _, err := RunE2E(fast(), []string{"resnext"}); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestFig9Small(t *testing.T) {
+	rows, err := Fig9(fast(), []int{8, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].AlpaFailed {
+		t.Error("8 layers should compile in the Alpa baseline")
+	}
+	if !rows[1].AlpaFailed {
+		t.Error("128 layers must fail Alpa compilation (Exp#3)")
+	}
+	if rows[1].AcesoIter <= 0 {
+		t.Error("Aceso must still handle 128 layers")
+	}
+	var buf bytes.Buffer
+	RenderFig9(&buf, rows)
+	if !strings.Contains(buf.String(), "x") {
+		t.Error("render should mark the Alpa failure with x")
+	}
+}
+
+func TestFig11Stats(t *testing.T) {
+	r, err := Fig11(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tries) == 0 || len(r.Hops) == 0 {
+		t.Fatal("no histogram data collected")
+	}
+	if rate := r.FirstTryRate(); rate <= 0 || rate > 1 {
+		t.Errorf("FirstTryRate = %v", rate)
+	}
+	var buf bytes.Buffer
+	RenderFig11(&buf, r)
+	if !strings.Contains(buf.String(), "bottlenecks tried") {
+		t.Error("render missing histogram (a)")
+	}
+}
+
+func TestFig12Curves(t *testing.T) {
+	set := fast()
+	curves, err := Fig12(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, cs := range curves {
+		if len(cs) != 4 { // heuristic-2 + 3 random runs
+			t.Errorf("%s: %d curves, want 4", key, len(cs))
+		}
+		for _, c := range cs {
+			if len(c.Best) != curveSamples {
+				t.Errorf("%s/%s: %d samples", key, c.Label, len(c.Best))
+			}
+			// Curves must be non-increasing once feasible.
+			last := 0.0
+			for _, v := range c.Best {
+				if last > 0 && v > last {
+					t.Errorf("%s/%s: convergence curve increased", key, c.Label)
+				}
+				if v > 0 {
+					last = v
+				}
+			}
+		}
+	}
+	var buf bytes.Buffer
+	RenderCurves(&buf, "Figure 12", curves)
+	if !strings.Contains(buf.String(), "heuristic-2") {
+		t.Error("render missing heuristic-2 curve")
+	}
+}
+
+func TestFig14Initializers(t *testing.T) {
+	curves, err := Fig14(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, cs := range curves {
+		if len(cs) != 3 {
+			t.Errorf("%s: %d curves, want 3", key, len(cs))
+		}
+	}
+}
+
+func TestCases(t *testing.T) {
+	cases, err := Cases(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 2 {
+		t.Fatalf("cases = %d, want 2", len(cases))
+	}
+	for _, cs := range cases {
+		if cs.Config == nil || len(cs.Notes) < 2 {
+			t.Errorf("%s: incomplete case study", cs.Title)
+		}
+	}
+	var buf bytes.Buffer
+	RenderCases(&buf, cases)
+	if !strings.Contains(buf.String(), "GPT-3 1.3B") {
+		t.Error("render missing GPT case")
+	}
+}
+
+func TestSampleCurve(t *testing.T) {
+	points := []struct {
+		ms    int
+		score float64
+	}{{10, 5}, {50, 3}, {90, 2}}
+	var conv []corePoint
+	for _, p := range points {
+		conv = append(conv, corePoint{time.Duration(p.ms) * time.Millisecond, p.score})
+	}
+	got := sampleCurve(toConv(conv), 100*time.Millisecond, 4)
+	want := []float64{5, 3, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sampleCurve[%d] = %v, want %v (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// corePoint mirrors core.ConvergencePoint for table-driven tests.
+type corePoint struct {
+	elapsed time.Duration
+	score   float64
+}
+
+func toConv(ps []corePoint) []core.ConvergencePoint {
+	out := make([]core.ConvergencePoint, len(ps))
+	for i, p := range ps {
+		out[i] = core.ConvergencePoint{Elapsed: p.elapsed, Score: p.score}
+	}
+	return out
+}
+
+func TestCSVWriters(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFig1CSV(&buf, Fig1([]int{2, 4})); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 {
+		t.Errorf("fig1 csv has %d lines, want 3", lines)
+	}
+
+	e, err := RunE2E(Settings{Budget: 150 * time.Millisecond, Seed: 1, Sizes: 1}, []string{"gpt3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := e.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "gpt3,350M,1,") {
+		t.Errorf("e2e csv missing row: %s", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteFig9CSV(&buf, []Fig9Row{{Layers: 8, AcesoSearch: 1, AlpaFailed: true}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "8,1,0,0,0,true") {
+		t.Errorf("fig9 csv = %s", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteFig10CSV(&buf, []Fig10Row{{Model: "m", GPUs: 8, DPExplored: 10, AcesoExplored: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "m,8,10,1,") {
+		t.Errorf("fig10 csv = %s", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteFig11CSV(&buf, &Fig11Result{Tries: []int{5}, Hops: []int{3, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "bottleneck_tries,1,5") || !strings.Contains(buf.String(), "hops,2,2") {
+		t.Errorf("fig11 csv = %s", buf.String())
+	}
+
+	buf.Reset()
+	groups := map[string][]Curve{
+		"g": {{Label: "v", Budget: time.Second, Best: []float64{2, 1}}},
+	}
+	if err := WriteCurvesCSV(&buf, groups); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "g,v,0.5,0.5,2") {
+		t.Errorf("curves csv = %s", buf.String())
+	}
+}
+
+func TestFig13MaxHopsCurves(t *testing.T) {
+	curves, err := Fig13(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, cs := range curves {
+		if len(cs) != 4 { // MaxHops 1, 3, 7, 11
+			t.Errorf("%s: %d curves, want 4", key, len(cs))
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	rows, memRatio, err := Ablations(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.BestIter <= 0 || r.Explored <= 0 {
+			t.Errorf("%s: degenerate row %+v", r.Variant, r)
+		}
+	}
+	if memRatio <= 1 {
+		t.Errorf("GPipe/1F1B memory ratio = %v, want > 1", memRatio)
+	}
+	var buf bytes.Buffer
+	RenderAblations(&buf, rows, memRatio)
+	if !strings.Contains(buf.String(), "GPipe peak memory") {
+		t.Error("render missing scheduling note")
+	}
+}

@@ -1,0 +1,97 @@
+package exps
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"aceso/internal/baselines/alpa"
+	"aceso/internal/hardware"
+	"aceso/internal/model"
+	"aceso/internal/tablefmt"
+)
+
+// Fig9Row is one layer-count point of the Exp#3 scalability study on
+// 8 GPUs: search cost and achieved throughput for Aceso and the
+// Alpa-like baseline.
+type Fig9Row struct {
+	Layers      int
+	AcesoSearch float64 // seconds
+	AcesoIter   float64 // simulated iteration time (s)
+	AlpaSearch  float64 // seconds; 0 when failed
+	AlpaIter    float64
+	AlpaFailed  bool
+}
+
+// Fig9 searches DeepNet-style transformers of increasing depth over 8
+// GPUs (Exp#3). Aceso must always return within budget; the Alpa-like
+// baseline's layer-group DP grows with depth and fails compilation
+// beyond 64 layers.
+func Fig9(set Settings, layerCounts []int) ([]Fig9Row, error) {
+	set = set.withDefaults()
+	if len(layerCounts) == 0 {
+		layerCounts = []int{8, 16, 32, 64, 128, 256, 512, 1024}
+	}
+	cl := hardware.DGX1V100(1)
+	var out []Fig9Row
+	for _, layers := range layerCounts {
+		g, err := model.DeepTransformer(layers)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig9Row{Layers: layers}
+
+		run, err := runAceso(g, cl, set, nil)
+		if err != nil {
+			return nil, fmt.Errorf("exps: fig9 %d layers: %w", layers, err)
+		}
+		row.AcesoSearch = run.SearchTime.Seconds()
+		if run.Simulated != nil {
+			row.AcesoIter = run.Simulated.IterTime
+		}
+
+		al, err := alpa.Search(g, cl, alpa.Options{
+			Seed: set.Seed,
+			// Deep models need group counts tracking depth — the very
+			// scaling that sinks the baseline.
+			LayerGroupsGrid: []int{layers},
+			MaxMicroBatch:   8,
+		})
+		switch {
+		case errors.Is(err, alpa.ErrTooDeep):
+			row.AlpaFailed = true
+		case err != nil:
+			row.AlpaFailed = true
+		default:
+			row.AlpaSearch = al.EmulatedSearchCost.Seconds()
+			if sim, _, err := simulate(g, cl, al.Best, set.Seed); err == nil && !sim.OOM {
+				row.AlpaIter = sim.IterTime
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderFig9 prints the scalability table.
+func RenderFig9(w io.Writer, rows []Fig9Row) {
+	fmt.Fprintln(w, "Figure 9 (Exp#3): scaling to 1K-layer transformers on 8 GPUs (x = failed)")
+	t := &tablefmt.Table{Header: []string{
+		"layers", "Alpa search (s)", "Aceso search (s)",
+		"Alpa iter (s)", "Aceso iter (s)", "Aceso speedup"}}
+	for _, r := range rows {
+		alpaSearch, alpaIter, speedup := "x", "x", "-"
+		if !r.AlpaFailed {
+			alpaSearch = fmt.Sprintf("%.1f", r.AlpaSearch)
+			if r.AlpaIter > 0 {
+				alpaIter = fmt.Sprintf("%.2f", r.AlpaIter)
+				if r.AcesoIter > 0 {
+					speedup = fmt.Sprintf("%.2fx", r.AlpaIter/r.AcesoIter)
+				}
+			}
+		}
+		t.Add(r.Layers, alpaSearch, fmt.Sprintf("%.1f", r.AcesoSearch),
+			alpaIter, fmt.Sprintf("%.2f", r.AcesoIter), speedup)
+	}
+	t.Render(w)
+}

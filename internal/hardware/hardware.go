@@ -1,0 +1,138 @@
+// Package hardware describes the accelerator cluster that parallel
+// configurations are mapped onto.
+//
+// The paper evaluates on 4 DGX-1 nodes (8×V100-32GB each, NVLink
+// intra-node, 100 Gb/s InfiniBand inter-node). This repository has no
+// GPUs, so a Cluster is a purely parametric description: per-device
+// throughput and memory plus a two-level (intra-node / inter-node)
+// interconnect. Every cost consumed by the search is derived from these
+// parameters; see DESIGN.md §2 for the substitution rationale.
+package hardware
+
+import "fmt"
+
+// Precision selects which throughput figure applies to a workload.
+type Precision int
+
+const (
+	// FP16 is mixed-precision training (tensor cores on V100).
+	FP16 Precision = iota
+	// FP32 is single-precision training.
+	FP32
+)
+
+// BytesPerElem returns the activation element size for the precision.
+func (p Precision) BytesPerElem() float64 {
+	if p == FP32 {
+		return 4
+	}
+	return 2
+}
+
+// String implements fmt.Stringer.
+func (p Precision) String() string {
+	if p == FP32 {
+		return "fp32"
+	}
+	return "fp16"
+}
+
+// Cluster describes a homogeneous accelerator cluster with a two-level
+// interconnect: fast links inside a node, a slower network across nodes.
+type Cluster struct {
+	Nodes          int
+	DevicesPerNode int
+
+	// Peak per-device throughput in FLOP/s by precision.
+	FP16FLOPS float64
+	FP32FLOPS float64
+	// MaxUtil is the fraction of peak a perfectly-sized dense kernel
+	// reaches in practice; smaller kernels reach less (see profiler).
+	MaxUtil float64
+
+	// MemoryBytes is per-device memory capacity.
+	MemoryBytes float64
+
+	// IntraBW/InterBW are per-device link bandwidths (bytes/s) for
+	// groups contained in one node vs. groups spanning nodes.
+	IntraBW float64
+	InterBW float64
+	// IntraLat/InterLat are per-hop latencies in seconds.
+	IntraLat float64
+	InterLat float64
+}
+
+// DGX1V100 returns a cluster of n DGX-1-like nodes: 8 V100-32GB per
+// node, NVLink inside the node, 100 Gb/s InfiniBand between nodes.
+func DGX1V100(nodes int) Cluster {
+	return Cluster{
+		Nodes:          nodes,
+		DevicesPerNode: 8,
+		FP16FLOPS:      125e12,
+		FP32FLOPS:      15.7e12,
+		MaxUtil:        0.55,
+		MemoryBytes:    32 * (1 << 30),
+		IntraBW:        130e9,
+		InterBW:        12.5e9,
+		IntraLat:       5e-6,
+		InterLat:       20e-6,
+	}
+}
+
+// TotalDevices returns the number of devices in the cluster.
+func (c Cluster) TotalDevices() int { return c.Nodes * c.DevicesPerNode }
+
+// PeakFLOPS returns the peak per-device throughput for a precision.
+func (c Cluster) PeakFLOPS(p Precision) float64 {
+	if p == FP32 {
+		return c.FP32FLOPS
+	}
+	return c.FP16FLOPS
+}
+
+// Validate reports whether the cluster description is usable.
+func (c Cluster) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("hardware: Nodes = %d, want > 0", c.Nodes)
+	case c.DevicesPerNode <= 0:
+		return fmt.Errorf("hardware: DevicesPerNode = %d, want > 0", c.DevicesPerNode)
+	case c.FP16FLOPS <= 0 || c.FP32FLOPS <= 0:
+		return fmt.Errorf("hardware: non-positive FLOPS")
+	case c.MaxUtil <= 0 || c.MaxUtil > 1:
+		return fmt.Errorf("hardware: MaxUtil = %v, want (0, 1]", c.MaxUtil)
+	case c.MemoryBytes <= 0:
+		return fmt.Errorf("hardware: non-positive MemoryBytes")
+	case c.IntraBW <= 0 || c.InterBW <= 0:
+		return fmt.Errorf("hardware: non-positive bandwidth")
+	case c.IntraLat < 0 || c.InterLat < 0:
+		return fmt.Errorf("hardware: negative latency")
+	}
+	return nil
+}
+
+// NodeOf returns the node index hosting a global device rank.
+func (c Cluster) NodeOf(dev int) int { return dev / c.DevicesPerNode }
+
+// GroupSpansNodes reports whether the contiguous device range
+// [first, first+size) crosses a node boundary.
+func (c Cluster) GroupSpansNodes(first, size int) bool {
+	if size <= 1 {
+		return false
+	}
+	return c.NodeOf(first) != c.NodeOf(first+size-1)
+}
+
+// Restrict returns a copy of the cluster with exactly n devices,
+// rounding the node count up so that n devices exist. It is used to run
+// experiments on device subsets (1, 4, 8, 16, 32 GPUs).
+func (c Cluster) Restrict(n int) Cluster {
+	out := c
+	if n <= c.DevicesPerNode {
+		out.Nodes = 1
+		out.DevicesPerNode = n
+		return out
+	}
+	out.Nodes = (n + c.DevicesPerNode - 1) / c.DevicesPerNode
+	return out
+}

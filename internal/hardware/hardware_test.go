@@ -1,0 +1,113 @@
+package hardware
+
+import "testing"
+
+func TestDGX1V100Defaults(t *testing.T) {
+	c := DGX1V100(4)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate() = %v", err)
+	}
+	if got := c.TotalDevices(); got != 32 {
+		t.Errorf("TotalDevices() = %d, want 32", got)
+	}
+	if c.MemoryBytes != 32*(1<<30) {
+		t.Errorf("MemoryBytes = %v, want 32 GiB", c.MemoryBytes)
+	}
+	if c.PeakFLOPS(FP16) <= c.PeakFLOPS(FP32) {
+		t.Errorf("FP16 peak (%v) should exceed FP32 peak (%v)",
+			c.PeakFLOPS(FP16), c.PeakFLOPS(FP32))
+	}
+}
+
+func TestPrecision(t *testing.T) {
+	if FP16.BytesPerElem() != 2 || FP32.BytesPerElem() != 4 {
+		t.Errorf("BytesPerElem: fp16=%v fp32=%v, want 2 and 4",
+			FP16.BytesPerElem(), FP32.BytesPerElem())
+	}
+	if FP16.String() != "fp16" || FP32.String() != "fp32" {
+		t.Errorf("String: %q, %q", FP16.String(), FP32.String())
+	}
+}
+
+func TestNodeOf(t *testing.T) {
+	c := DGX1V100(4)
+	cases := []struct{ dev, node int }{
+		{0, 0}, {7, 0}, {8, 1}, {15, 1}, {31, 3},
+	}
+	for _, tc := range cases {
+		if got := c.NodeOf(tc.dev); got != tc.node {
+			t.Errorf("NodeOf(%d) = %d, want %d", tc.dev, got, tc.node)
+		}
+	}
+}
+
+func TestGroupSpansNodes(t *testing.T) {
+	c := DGX1V100(4)
+	cases := []struct {
+		first, size int
+		want        bool
+	}{
+		{0, 1, false},
+		{0, 8, false},
+		{0, 9, true},
+		{4, 8, true},  // straddles nodes 0 and 1
+		{8, 8, false}, // exactly node 1
+		{0, 32, true},
+		{7, 1, false},
+	}
+	for _, tc := range cases {
+		if got := c.GroupSpansNodes(tc.first, tc.size); got != tc.want {
+			t.Errorf("GroupSpansNodes(%d, %d) = %v, want %v",
+				tc.first, tc.size, got, tc.want)
+		}
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	c := DGX1V100(4)
+	cases := []struct {
+		n, nodes, perNode int
+	}{
+		{1, 1, 1},
+		{4, 1, 4},
+		{8, 1, 8},
+		{16, 2, 8},
+		{32, 4, 8},
+	}
+	for _, tc := range cases {
+		r := c.Restrict(tc.n)
+		if r.Nodes != tc.nodes || r.DevicesPerNode != tc.perNode {
+			t.Errorf("Restrict(%d) = %d nodes × %d, want %d × %d",
+				tc.n, r.Nodes, r.DevicesPerNode, tc.nodes, tc.perNode)
+		}
+		if r.TotalDevices() != tc.n {
+			t.Errorf("Restrict(%d).TotalDevices() = %d", tc.n, r.TotalDevices())
+		}
+		if err := r.Validate(); err != nil {
+			t.Errorf("Restrict(%d).Validate() = %v", tc.n, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadClusters(t *testing.T) {
+	good := DGX1V100(1)
+	mutations := []func(*Cluster){
+		func(c *Cluster) { c.Nodes = 0 },
+		func(c *Cluster) { c.DevicesPerNode = -1 },
+		func(c *Cluster) { c.FP16FLOPS = 0 },
+		func(c *Cluster) { c.FP32FLOPS = -1 },
+		func(c *Cluster) { c.MaxUtil = 0 },
+		func(c *Cluster) { c.MaxUtil = 1.5 },
+		func(c *Cluster) { c.MemoryBytes = 0 },
+		func(c *Cluster) { c.IntraBW = 0 },
+		func(c *Cluster) { c.InterBW = -2 },
+		func(c *Cluster) { c.IntraLat = -1e-9 },
+	}
+	for i, mut := range mutations {
+		c := good
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d: Validate() = nil, want error", i)
+		}
+	}
+}

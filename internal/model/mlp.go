@@ -1,0 +1,77 @@
+package model
+
+import "aceso/internal/hardware"
+
+// MLP builds a numerically-executable model: a stack of `layers`
+// dim×dim linear layers with ReLU between them (2·layers−1 operators).
+// Unlike the benchmark builders, MLP graphs can be *run* — the numeric
+// runtime (internal/runtime) executes any valid configuration of an
+// MLP and verifies it against a serial reference, reproducing the
+// paper's correctness methodology for semantic-preserving primitives.
+func MLP(layers, dim, batch int) (*Graph, error) {
+	if layers <= 0 || dim <= 0 || batch <= 0 {
+		return nil, errInvalidArg("MLP", "layers/dim/batch", layers*dim*batch)
+	}
+	g := &Graph{
+		Name:        "mlp-" + itoa(layers) + "x" + itoa(dim),
+		Precision:   hardware.FP32,
+		GlobalBatch: batch,
+	}
+	d := float64(dim)
+	for l := 0; l < layers; l++ {
+		g.addOp(Op{
+			Name: "linear" + itoa(l), Kind: KindMatMul, Layer: l,
+			FwdFLOPs: 2 * d * d, Params: d*d + d,
+			ActElems: d,
+			Dims:     []PartitionDim{DimColumn, DimRow},
+		})
+		if l < layers-1 {
+			g.addOp(Op{
+				Name: "relu" + itoa(l), Kind: KindElementwise, Layer: l,
+				FwdFLOPs: d, ActElems: d, BwdFLOPsFactor: 1,
+				Dims: []PartitionDim{DimPass},
+			})
+		}
+	}
+	return g, nil
+}
+
+// MLPWithNorm builds a numerically-executable stack of `layers` blocks
+// of linear → layer-norm → ReLU (3·layers−1 operators; the final block
+// omits the ReLU). It extends the runtime-validation surface to the
+// replicated-computation semantics of layer norms (DimNone: computed
+// redundantly on every tensor-parallel rank, with a gather when the
+// incoming activation is column-split).
+func MLPWithNorm(layers, dim, batch int) (*Graph, error) {
+	if layers <= 0 || dim <= 0 || batch <= 0 {
+		return nil, errInvalidArg("MLPWithNorm", "layers/dim/batch", layers*dim*batch)
+	}
+	g := &Graph{
+		Name:        "mlpln-" + itoa(layers) + "x" + itoa(dim),
+		Precision:   hardware.FP32,
+		GlobalBatch: batch,
+	}
+	d := float64(dim)
+	for l := 0; l < layers; l++ {
+		g.addOp(Op{
+			Name: "linear" + itoa(l), Kind: KindMatMul, Layer: l,
+			FwdFLOPs: 2 * d * d, Params: d*d + d,
+			ActElems: d,
+			Dims:     []PartitionDim{DimColumn, DimRow},
+		})
+		g.addOp(Op{
+			Name: "ln" + itoa(l), Kind: KindLayerNorm, Layer: l,
+			FwdFLOPs: 5 * d, Params: 2 * d,
+			ActElems: d, BwdFLOPsFactor: 1,
+			Dims: []PartitionDim{DimNone},
+		})
+		if l < layers-1 {
+			g.addOp(Op{
+				Name: "relu" + itoa(l), Kind: KindElementwise, Layer: l,
+				FwdFLOPs: d, ActElems: d, BwdFLOPsFactor: 1,
+				Dims: []PartitionDim{DimPass},
+			})
+		}
+	}
+	return g, nil
+}

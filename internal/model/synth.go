@@ -1,0 +1,43 @@
+package model
+
+import "aceso/internal/hardware"
+
+// Uniform builds a synthetic sequential model of n identical
+// matmul-like operators. It is the workhorse of unit and property
+// tests: costs are simple, so expected times and memories can be
+// computed by hand.
+func Uniform(n int, flops, params, act float64, batch int) *Graph {
+	g := &Graph{
+		Name:        "uniform-" + itoa(n),
+		Precision:   hardware.FP16,
+		GlobalBatch: batch,
+	}
+	for i := 0; i < n; i++ {
+		g.addOp(Op{
+			Name: "op" + itoa(i), Kind: KindMatMul, Layer: i,
+			FwdFLOPs: flops, Params: params, ActElems: act,
+			Dims: []PartitionDim{DimColumn, DimRow},
+		})
+	}
+	return g
+}
+
+// Skewed builds a synthetic model whose i-th operator is (1+i·slope)×
+// as expensive as the first; useful for bottleneck-identification
+// tests where the heavy end is known in advance.
+func Skewed(n int, baseFLOPs, params, act float64, slope float64, batch int) *Graph {
+	g := &Graph{
+		Name:        "skewed-" + itoa(n),
+		Precision:   hardware.FP16,
+		GlobalBatch: batch,
+	}
+	for i := 0; i < n; i++ {
+		scale := 1 + slope*float64(i)
+		g.addOp(Op{
+			Name: "op" + itoa(i), Kind: KindMatMul, Layer: i,
+			FwdFLOPs: baseFLOPs * scale, Params: params * scale, ActElems: act * scale,
+			Dims: []PartitionDim{DimColumn, DimRow},
+		})
+	}
+	return g
+}

@@ -1,0 +1,82 @@
+package model
+
+import "aceso/internal/hardware"
+
+// TinyGPT builds a numerically-executable transformer: `layers` blocks
+// of LayerNorm → QKV projection → multi-head attention → output
+// projection → LayerNorm → MLP (up, ReLU, down). It extends the
+// runtime-validation surface (§4 methodology) from MLPs to the
+// architecture family the paper actually evaluates: attention cores
+// split by heads under tensor parallelism, layer norms computed
+// replicated, row/column matmuls.
+//
+// Runtime convention (differs from the benchmark builders): ActElems
+// is the per-token output width of the op, and the numeric runtime
+// lays activations out as (samples·seq) rows × width columns. hidden
+// must be divisible by heads.
+func TinyGPT(layers, seq, hidden, heads, batch int) (*Graph, error) {
+	if layers <= 0 || seq <= 0 || hidden <= 0 || heads <= 0 || batch <= 0 {
+		return nil, errInvalidArg("TinyGPT", "shape", layers*seq*hidden*heads*batch)
+	}
+	if hidden%heads != 0 {
+		return nil, errInvalidArg("TinyGPT", "hidden%heads", hidden%heads)
+	}
+	g := &Graph{
+		Name:        "tinygpt-" + itoa(layers) + "x" + itoa(hidden),
+		Precision:   hardware.FP32,
+		GlobalBatch: batch,
+		SeqLen:      seq,
+	}
+	h := float64(hidden)
+	s := float64(seq)
+	for l := 0; l < layers; l++ {
+		g.addOp(Op{
+			Name: "ln1-" + itoa(l), Kind: KindLayerNorm, Layer: l,
+			FwdFLOPs: 5 * s * h, Params: 2 * h,
+			ActElems: h, BwdFLOPsFactor: 1,
+			Dims: []PartitionDim{DimNone},
+		})
+		g.addOp(Op{
+			Name: "qkv-" + itoa(l), Kind: KindMatMul, Layer: l,
+			FwdFLOPs: 6 * s * h * h, Params: 3*h*h + 3*h,
+			ActElems: 3 * h,
+			Dims:     []PartitionDim{DimColumn},
+		})
+		g.addOp(Op{
+			Name: "attn-" + itoa(l), Kind: KindAttentionCore, Layer: l,
+			FwdFLOPs: 4 * s * s * h,
+			ActElems: h, WorkElems: float64(heads) * s * s, BwdFLOPsFactor: 1,
+			Dims: []PartitionDim{DimHead},
+		})
+		g.addOp(Op{
+			Name: "proj-" + itoa(l), Kind: KindMatMul, Layer: l,
+			FwdFLOPs: 2 * s * h * h, Params: h*h + h,
+			ActElems: h,
+			Dims:     []PartitionDim{DimRow, DimColumn},
+		})
+		g.addOp(Op{
+			Name: "ln2-" + itoa(l), Kind: KindLayerNorm, Layer: l,
+			FwdFLOPs: 5 * s * h, Params: 2 * h,
+			ActElems: h, BwdFLOPsFactor: 1,
+			Dims: []PartitionDim{DimNone},
+		})
+		g.addOp(Op{
+			Name: "mlp1-" + itoa(l), Kind: KindMatMul, Layer: l,
+			FwdFLOPs: 8 * s * h * h, Params: 4*h*h + 4*h,
+			ActElems: 4 * h,
+			Dims:     []PartitionDim{DimColumn, DimRow},
+		})
+		g.addOp(Op{
+			Name: "relu-" + itoa(l), Kind: KindElementwise, Layer: l,
+			FwdFLOPs: 4 * s * h, ActElems: 4 * h, BwdFLOPsFactor: 1,
+			Dims: []PartitionDim{DimPass},
+		})
+		g.addOp(Op{
+			Name: "mlp2-" + itoa(l), Kind: KindMatMul, Layer: l,
+			FwdFLOPs: 8 * s * h * h, Params: 4*h*h + h,
+			ActElems: h,
+			Dims:     []PartitionDim{DimRow, DimColumn},
+		})
+	}
+	return g, nil
+}

@@ -1,0 +1,66 @@
+package perfmodel
+
+import (
+	"fmt"
+
+	"aceso/internal/config"
+)
+
+// EvalStage evaluates a hypothetical pipeline stage with uniform
+// settings — the building block of the dynamic-programming baselines,
+// which enumerate stages without materializing full configurations.
+//
+//	start, end  operator range [start, end)
+//	devices     devices assigned to the stage (power of two)
+//	tp, dp      uniform tensor/data parallelism (tp·dp == devices)
+//	recompute   recompute every op in the stage
+//	microBatch  aggregate microbatch size (dp must divide it)
+//	firstDev    global rank of the stage's first device
+//	inflight    stashed microbatches (Eq. 1's p−i term)
+//	prevDevices devices of the preceding stage (0 when first)
+func (m *Model) EvalStage(start, end, devices, tp, dp int, recompute bool,
+	microBatch, firstDev, inflight, prevDevices int) (StageMetrics, error) {
+
+	switch {
+	case start < 0 || end <= start || end > len(m.Graph.Ops):
+		return StageMetrics{}, fmt.Errorf("perfmodel: bad op range [%d, %d)", start, end)
+	case tp*dp != devices || !config.IsPow2(tp) || !config.IsPow2(dp):
+		return StageMetrics{}, fmt.Errorf("perfmodel: tp %d · dp %d != devices %d (or not powers of two)", tp, dp, devices)
+	case microBatch <= 0 || microBatch%dp != 0:
+		return StageMetrics{}, fmt.Errorf("perfmodel: dp %d does not divide microbatch %d", dp, microBatch)
+	case inflight < 1:
+		return StageMetrics{}, fmt.Errorf("perfmodel: inflight %d < 1", inflight)
+	}
+	st := config.Stage{Start: start, End: end, Devices: devices}
+	st.Ops = make([]config.OpSetting, end-start)
+	for j := range st.Ops {
+		st.Ops[j] = config.OpSetting{TP: tp, DP: dp, Recompute: recompute}
+	}
+	return m.evalStage(&st, microBatch, firstDev, inflight, prevDevices), nil
+}
+
+// ComposePipeline turns per-stage metrics into an Estimate for a
+// pipeline executing n microbatches per iteration: Eq. 2 timing plus
+// the per-stage memory-feasibility verdicts of Estimate.
+func (m *Model) ComposePipeline(stages []StageMetrics, n int) *Estimate {
+	est := &Estimate{
+		Stages:       append([]StageMetrics(nil), stages...),
+		OOMStage:     -1,
+		Feasible:     true,
+		Microbatches: n,
+	}
+	for i := range est.Stages {
+		sm := &est.Stages[i]
+		if sm.PeakMem > m.Cluster.MemoryBytes {
+			est.Feasible = false
+			if est.OOMStage < 0 || sm.PeakMem > est.Stages[est.OOMStage].PeakMem {
+				est.OOMStage = i
+			}
+		}
+		if sm.PeakMem > est.PeakMem {
+			est.PeakMem = sm.PeakMem
+		}
+	}
+	m.composeIterTime(est, n)
+	return est
+}

@@ -1,0 +1,385 @@
+// Package perfmodel implements Aceso's performance model (§3.3): given
+// a parallel configuration it predicts per-stage computation time,
+// communication time and memory consumption, and composes them into a
+// full-iteration time under 1F1B pipeline scheduling.
+//
+// Memory follows Eq. 1:
+//
+//	Memory_i = M_param_i + M_act_i · (p − i) + M_opt_i  (+ extra)
+//
+// where the extra term deliberately over-estimates framework/allocator
+// overhead as the largest per-operator working set in the stage
+// ("safety first": an over-estimate can cost throughput, an
+// under-estimate crashes training).
+//
+// Iteration time follows Eq. 2: per stage,
+//
+//	T_stage_i = T_warmup_i + T_steady_i + T_cooldown_i
+//
+// with warm-up the forward of one microbatch through stages 0..i,
+// cool-down the corresponding backward, and steady state (N−1)
+// back-to-back microbatches; the pipeline finishes with the slowest
+// stage.
+package perfmodel
+
+import (
+	"aceso/internal/collective"
+	"aceso/internal/config"
+	"aceso/internal/hardware"
+	"aceso/internal/model"
+	"aceso/internal/profiler"
+)
+
+// Optimizer state bytes per parameter beyond the weights themselves.
+// FP16 training keeps fp16 gradients plus fp32 master weights and Adam
+// moments (2+4+4+4); FP32 keeps fp32 gradients and moments (4+4+4).
+const (
+	optBytesPerParamFP16 = 14
+	optBytesPerParamFP32 = 12
+)
+
+// actStashFactor scales per-op saved activations: besides its output,
+// an operator's backward needs its inputs, masks and intermediate
+// tensors (Megatron-LM stashes ≈34·s·h bytes per transformer layer
+// versus ≈12·s·h of op outputs). Attention/working buffers (WorkElems)
+// are counted once, unscaled.
+const actStashFactor = 2.5
+
+// StageMetrics is the predicted resource consumption of one pipeline
+// stage, per device (stages are internally symmetric; §3.1).
+type StageMetrics struct {
+	// Per-microbatch times (seconds).
+	FwdTime float64 // forward compute + tp collectives + boundary recv
+	BwdTime float64 // backward compute + tp collectives + recompute + boundary send
+	TPComm  float64 // tensor-parallel collective share of Fwd+Bwd
+	P2P     float64 // stage-boundary share of Fwd+Bwd
+	Recomp  float64 // recomputation share of Bwd
+
+	// Per-iteration times.
+	DPSync    float64 // gradient all-reduce across data-parallel groups
+	StageTime float64 // Eq. 2 total for this stage
+
+	// Memory (bytes per device).
+	ParamMem float64
+	OptMem   float64
+	ActPerMB float64 // activation stash per in-flight microbatch
+	ExtraMem float64 // allocator over-estimate (max op working set)
+	PeakMem  float64 // Eq. 1 total
+}
+
+// CompTime returns the pure-compute share of one microbatch.
+func (s *StageMetrics) CompTime() float64 {
+	return s.FwdTime + s.BwdTime - s.TPComm - s.P2P - s.Recomp
+}
+
+// CommTime returns the communication share of one microbatch,
+// including the per-microbatch amortization of the gradient sync.
+func (s *StageMetrics) CommTime(microbatches int) float64 {
+	t := s.TPComm + s.P2P
+	if microbatches > 0 {
+		t += s.DPSync / float64(microbatches)
+	}
+	return t
+}
+
+// Estimate is the performance model's verdict on one configuration.
+type Estimate struct {
+	Stages   []StageMetrics
+	IterTime float64 // seconds per training iteration
+	PeakMem  float64 // max over stages, bytes per device
+	Feasible bool    // every stage fits in device memory
+	OOMStage int     // index of worst over-memory stage, -1 if feasible
+
+	Microbatches int
+}
+
+// Throughput returns samples/second (0 for infeasible configs).
+func (e *Estimate) Throughput(globalBatch int) float64 {
+	if !e.Feasible || e.IterTime <= 0 {
+		return 0
+	}
+	return float64(globalBatch) / e.IterTime
+}
+
+// Model evaluates configurations for one (graph, cluster) pair.
+type Model struct {
+	Graph   *model.Graph
+	Cluster hardware.Cluster
+	Prof    *profiler.Profiler
+}
+
+// New builds a performance model backed by a profiler database.
+func New(g *model.Graph, c hardware.Cluster, seed int64) *Model {
+	return &Model{Graph: g, Cluster: c, Prof: profiler.New(c, seed)}
+}
+
+// optBytes returns optimizer-state bytes per parameter.
+func optBytes(p hardware.Precision) float64 {
+	if p == hardware.FP32 {
+		return optBytesPerParamFP32
+	}
+	return optBytesPerParamFP16
+}
+
+// Estimate predicts the execution of cfg. cfg must be valid for the
+// model's graph and cluster.
+func (m *Model) Estimate(cfg *config.Config) *Estimate {
+	g := m.Graph
+	p := cfg.NumStages()
+	n := cfg.NumMicrobatches(g.GlobalBatch)
+
+	est := &Estimate{
+		Stages:       make([]StageMetrics, p),
+		OOMStage:     -1,
+		Feasible:     true,
+		Microbatches: n,
+	}
+
+	for si := range cfg.Stages {
+		st := &cfg.Stages[si]
+		// Eq. 1: earlier stages stash more in-flight microbatches.
+		inflight := p - si
+		if inflight > n {
+			inflight = n
+		}
+		prevDevices := 0
+		if si > 0 {
+			prevDevices = cfg.Stages[si-1].Devices
+		}
+		est.Stages[si] = m.evalStage(st, cfg.MicroBatch, cfg.FirstDev(si), inflight, prevDevices)
+		sm := &est.Stages[si]
+		if sm.PeakMem > m.Cluster.MemoryBytes {
+			est.Feasible = false
+			if est.OOMStage < 0 || sm.PeakMem > est.Stages[est.OOMStage].PeakMem {
+				est.OOMStage = si
+			}
+		}
+		if sm.PeakMem > est.PeakMem {
+			est.PeakMem = sm.PeakMem
+		}
+	}
+
+	m.composeIterTime(est, n)
+	return est
+}
+
+// evalStage predicts one pipeline stage's per-microbatch times and
+// memory. firstDev is the stage's first global device rank, inflight
+// the number of stashed microbatches (Eq. 1's p−i), prevDevices the
+// preceding stage's device count (0 for the first stage).
+func (m *Model) evalStage(st *config.Stage, microBatch, firstDev, inflight, prevDevices int) StageMetrics {
+	g := m.Graph
+	prec := g.Precision
+	bpe := prec.BytesPerElem()
+	var sm StageMetrics
+	{
+		// Layout tracking across the stage for relayout collectives.
+		curLayout := model.Replicated
+		curTP := 1
+		prevDP := 0
+		var prevActBytes float64 // per-sample output bytes of previous op
+
+		for j := st.Start; j < st.End; j++ {
+			op := &g.Ops[j]
+			set := st.Setting(j)
+			dim := op.Dims[set.Dim]
+			samples := microBatch / set.DP
+			tpPlace := collective.PlacementFor(m.Cluster, firstDev, set.TP)
+
+			// Effective compute sharding.
+			shards := 1
+			outLayout := dim.Out
+			switch dim.Name {
+			case model.DimNone.Name:
+				shards = 1
+				outLayout = model.Replicated
+				if set.SeqPar && set.TP > 1 {
+					// Sequence parallelism splits the replicated
+					// region's tokens across the tp group.
+					shards = set.TP
+				}
+			case model.DimPass.Name:
+				// Layout-polymorphic: follows the incoming layout.
+				if curLayout == model.Split && set.TP == curTP {
+					shards = set.TP
+					outLayout = model.Split
+				} else {
+					shards = 1
+					outLayout = curLayout
+				}
+			default:
+				if set.TP > 1 {
+					shards = set.TP
+				}
+				// Relayout: a Split activation feeding an op that
+				// expects Replicated input costs an all-gather.
+				if dim.In == model.Replicated && curLayout == model.Split && curTP > 1 {
+					t := m.Prof.AllGather(prevActBytes*float64(samples)*bpe, curTP, tpPlace)
+					sm.FwdTime += t
+					sm.BwdTime += t // mirrored reduce-scatter in backward
+					sm.TPComm += 2 * t
+				}
+			}
+			// Changing the dp degree mid-stage redistributes samples.
+			if prevDP != 0 && set.DP != prevDP {
+				t := m.Prof.AllGather(prevActBytes*float64(microBatch)*bpe/float64(st.Devices), st.Devices,
+					collective.PlacementFor(m.Cluster, firstDev, st.Devices))
+				sm.FwdTime += t
+				sm.BwdTime += t
+				sm.TPComm += 2 * t
+			}
+
+			fwd := m.Prof.OpTime(op, set.TP, set.Dim, samples, shards, false, prec)
+			bwd := m.Prof.OpTime(op, set.TP, set.Dim, samples, shards, true, prec)
+			sm.FwdTime += fwd
+			sm.BwdTime += bwd
+			if set.Recompute {
+				sm.BwdTime += fwd
+				sm.Recomp += fwd
+			}
+
+			// Tensor-parallel collectives (Megatron f/g conjugates):
+			// row-parallel all-reduces its output in forward; the
+			// paired column-parallel all-reduces gradients in backward.
+			if set.TP > 1 {
+				arBytes := op.ActElems * float64(samples) * bpe
+				switch {
+				case dim.AllReduceOut:
+					t := m.Prof.AllReduce(arBytes, set.TP, tpPlace)
+					sm.FwdTime += t
+					sm.TPComm += t
+					if set.Recompute {
+						sm.BwdTime += t
+						sm.Recomp += t
+					}
+				case dim.In == model.Replicated && dim.Out == model.Split:
+					// Column-parallel: backward all-reduces the input
+					// gradient (per-sample size = previous activation).
+					t := m.Prof.AllReduce(prevActBytes*float64(samples)*bpe, set.TP, tpPlace)
+					sm.BwdTime += t
+					sm.TPComm += t
+				}
+			}
+
+			// Memory.
+			paramBytes := op.Params * bpe / float64(set.TP)
+			sm.ParamMem += paramBytes
+			opt := op.Params * optBytes(prec) / float64(set.TP)
+			if set.ZeRO {
+				// ZeRO-1: optimizer states shard across the dp group.
+				opt /= float64(set.DP)
+			}
+			sm.OptMem += opt
+
+			actShare := 1.0
+			if outLayout == model.Split {
+				actShare = float64(shards)
+			} else if set.SeqPar && set.TP > 1 {
+				// Sequence-parallel regions stash 1/tp of the tokens.
+				actShare = float64(set.TP)
+			}
+			saved := actStashFactor*op.ActElems*float64(samples)*bpe/actShare +
+				op.WorkElems*float64(samples)*bpe/float64(shards)
+			if set.Recompute {
+				saved = 0
+			}
+			sm.ActPerMB += saved
+			working := (op.ActElems/actShare + op.WorkElems/float64(shards)) * float64(samples) * bpe
+			if working > sm.ExtraMem {
+				sm.ExtraMem = working
+			}
+
+			// Data-parallel gradient sync (per iteration).
+			if set.DP > 1 && op.Params > 0 {
+				dpPlace := collective.PlacementFor(m.Cluster, firstDev, st.Devices)
+				sm.DPSync += m.Prof.AllReduce(paramBytes, set.DP, dpPlace)
+				if set.ZeRO {
+					// Each rank updates its optimizer shard; the
+					// refreshed parameters all-gather back.
+					sm.DPSync += m.Prof.AllGather(paramBytes, set.DP, dpPlace)
+				}
+			}
+
+			curLayout = outLayout
+			curTP = set.TP
+			prevActBytes = op.ActElems
+			prevDP = set.DP
+		}
+
+		// Stage input stash: the boundary activation is always kept so
+		// recomputation can restart from it.
+		if st.Start > 0 {
+			in := &g.Ops[st.Start-1]
+			firstSet := st.Setting(st.Start)
+			sm.ActPerMB += in.ActElems * float64(microBatch/firstSet.DP) * bpe
+		}
+
+		// Stage-boundary transfer from the previous stage.
+		if prevDevices > 0 {
+			in := &g.Ops[st.Start-1]
+			lanes := prevDevices
+			if st.Devices < lanes {
+				lanes = st.Devices
+			}
+			bytes := in.ActElems * float64(microBatch) * bpe / float64(lanes)
+			pl := collective.PlacementFor(m.Cluster, firstDev-1, 2)
+			t := m.Prof.P2P(bytes, pl)
+			sm.FwdTime += t
+			sm.BwdTime += t
+			sm.P2P += 2 * t
+		}
+	}
+
+	sm.PeakMem = sm.ParamMem + sm.OptMem + sm.ActPerMB*float64(inflight) + sm.ExtraMem
+	return sm
+}
+
+// composeIterTime fills StageTime and IterTime from the per-stage
+// metrics under 1F1B scheduling (Eq. 2).
+func (m *Model) composeIterTime(est *Estimate, n int) {
+	p := len(est.Stages)
+	// Eq. 2: compose warm-up, steady state and cool-down per stage.
+	var warm float64
+	warms := make([]float64, p)
+	for i := 0; i < p; i++ {
+		warm += est.Stages[i].FwdTime
+		warms[i] = warm
+	}
+	var cool float64
+	cools := make([]float64, p)
+	for i := p - 1; i >= 0; i-- {
+		cool += est.Stages[i].BwdTime
+		cools[i] = cool
+	}
+	steadyN := float64(n - 1)
+	if steadyN < 0 {
+		steadyN = 0
+	}
+	for i := 0; i < p; i++ {
+		sm := &est.Stages[i]
+		sm.StageTime = warms[i] + steadyN*(sm.FwdTime+sm.BwdTime) + cools[i] + sm.DPSync
+		if sm.StageTime > est.IterTime {
+			est.IterTime = sm.StageTime
+		}
+	}
+}
+
+// EffectiveTFLOPS returns the per-GPU effective TFLOPS of an estimate:
+// useful model FLOPs (forward + backward, excluding recomputation) per
+// second per device — the metric of Tables 3–5.
+func (m *Model) EffectiveTFLOPS(est *Estimate) float64 {
+	if !est.Feasible || est.IterTime <= 0 {
+		return 0
+	}
+	var flops float64
+	for i := range m.Graph.Ops {
+		o := &m.Graph.Ops[i]
+		flops += o.FwdFLOPs * (1 + o.BwdFLOPsFactor)
+	}
+	flops *= float64(m.Graph.GlobalBatch)
+	devices := 0
+	// All estimates in this repo are produced for configurations that
+	// span the full cluster; recover the device count from the model.
+	devices = m.Cluster.TotalDevices()
+	return flops / est.IterTime / float64(devices) / 1e12
+}

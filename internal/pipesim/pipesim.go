@@ -1,0 +1,261 @@
+// Package pipesim is the execution substrate of this reproduction: a
+// discrete-event simulator of the 1F1B pipeline schedule that plays
+// the role of the paper's Megatron-LM runtime on real GPUs.
+//
+// Where the performance model (internal/perfmodel) composes closed-form
+// expressions (Eq. 1–2), the simulator actually *schedules* every
+// forward and backward task of every microbatch on every stage,
+// honoring cross-stage data dependencies and per-stage serialization,
+// and it layers deterministic second-order effects the analytic model
+// ignores — per-stage execution skew (kernel-level behaviour the
+// profiled averages miss), per-task framework overhead, and a caching
+// allocator whose retained blocks differ from the model's conservative
+// over-estimate. The gap between prediction and simulation is what
+// Exp#8/#9 measure; without an independent substrate those experiments
+// would be circular (DESIGN.md §2).
+package pipesim
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"aceso/internal/config"
+	"aceso/internal/perfmodel"
+)
+
+const (
+	// taskOverhead is the per-task host-side cost (scheduler, Python
+	// dispatch, NCCL enqueue) the analytic model does not see.
+	taskOverhead = 60e-6
+	// skewAmp is the amplitude of per-stage execution skew: real
+	// kernels deviate from profiled averages by a few percent, biased
+	// slightly slow (cache effects, clock throttling).
+	skewAmp  = 0.05
+	skewBias = 0.015
+	// allocRetain is the fraction of the model's worst-case allocator
+	// reserve that a caching allocator actually holds on to. The model
+	// intentionally over-estimates (§3.3); the simulator realizes less.
+	allocRetain = 0.45
+	// actSlack is the fraction of predicted per-microbatch activation
+	// the runtime actually stashes (some buffers are reused in place).
+	actSlack = 0.93
+)
+
+// Schedule selects the pipeline execution order.
+type Schedule int
+
+const (
+	// OneFOneB is 1F1B (PipeDream-flush): stage i keeps at most p−i
+	// microbatches in flight — the premise of the paper's Eq. 1.
+	OneFOneB Schedule = iota
+	// GPipe runs all forwards, then all backwards: identical compute,
+	// but every stage stashes all N microbatches. Used by the ablation
+	// benches to show why the memory model assumes 1F1B.
+	GPipe
+)
+
+// Result is the outcome of simulating one training iteration.
+type Result struct {
+	IterTime float64 // makespan of the iteration (seconds)
+	PeakMem  float64 // worst per-device memory across stages (bytes)
+	OOM      bool    // true when some stage exceeded device memory
+
+	StageTime    []float64 // per-stage busy-until time
+	StagePeakMem []float64 // per-stage simulated peak memory
+	PeakInflight []int     // per-stage max concurrently stashed microbatches
+	StageBusy    []float64 // per-stage busy fraction of the makespan
+}
+
+// BubbleFraction returns the mean pipeline idleness: 1 − average
+// stage busy fraction.
+func (r *Result) BubbleFraction() float64 {
+	if len(r.StageBusy) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, b := range r.StageBusy {
+		sum += b
+	}
+	return 1 - sum/float64(len(r.StageBusy))
+}
+
+// skew returns the deterministic execution-skew multiplier for one
+// stage of one configuration.
+func skew(seed int64, cfg *config.Config, stage int, backward bool) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%v|%d", seed, stage, backward, cfg.Hash())
+	u := float64(h.Sum64()%(1<<20)) / float64(1<<20)
+	return 1 + skewBias + skewAmp*(u-0.5)
+}
+
+// Simulate executes one training iteration of cfg under the 1F1B
+// schedule and returns the observed time and memory. The configuration
+// must be valid for pm's graph and cluster.
+func Simulate(pm *perfmodel.Model, cfg *config.Config, seed int64) (*Result, error) {
+	return SimulateSchedule(pm, cfg, seed, OneFOneB)
+}
+
+// SimulateSchedule is Simulate with an explicit pipeline schedule.
+func SimulateSchedule(pm *perfmodel.Model, cfg *config.Config, seed int64, sched Schedule) (*Result, error) {
+	if err := cfg.Validate(pm.Graph, pm.Cluster.TotalDevices()); err != nil {
+		return nil, fmt.Errorf("pipesim: %w", err)
+	}
+	est := pm.Estimate(cfg)
+	p := cfg.NumStages()
+	n := est.Microbatches
+	if n <= 0 {
+		return nil, fmt.Errorf("pipesim: no microbatches (mbs %d > batch %d?)",
+			cfg.MicroBatch, pm.Graph.GlobalBatch)
+	}
+
+	// Per-stage task durations with simulator-side effects applied.
+	fwd := make([]float64, p)
+	bwd := make([]float64, p)
+	for i := 0; i < p; i++ {
+		fwd[i] = est.Stages[i].FwdTime*skew(seed, cfg, i, false) + taskOverhead
+		bwd[i] = est.Stages[i].BwdTime*skew(seed, cfg, i, true) + taskOverhead
+	}
+
+	// Build each stage's 1F1B task order: w warm-up forwards, then
+	// alternating (forward, backward) pairs, then the cool-down
+	// backwards. Stage p-1 has no warm-up; stage 0 warms up p-1 deep.
+	type task struct {
+		mb      int
+		forward bool
+	}
+	order := make([][]task, p)
+	for i := 0; i < p; i++ {
+		w := p - 1 - i
+		if w > n {
+			w = n
+		}
+		if sched == GPipe {
+			w = n // all forwards first
+		}
+		tasks := make([]task, 0, 2*n)
+		for m := 0; m < w; m++ {
+			tasks = append(tasks, task{m, true})
+		}
+		for m := w; m < n; m++ {
+			tasks = append(tasks, task{m, true})
+			tasks = append(tasks, task{m - w, false})
+		}
+		for m := n - w; m < n; m++ {
+			tasks = append(tasks, task{m, false})
+		}
+		order[i] = tasks
+	}
+
+	// List-schedule: repeatedly advance any stage whose next task has
+	// its cross-stage dependency satisfied. fwdDone/bwdDone hold
+	// completion times; stageFree is per-stage serialization.
+	fwdDone := make([][]float64, p)
+	bwdDone := make([][]float64, p)
+	for i := range fwdDone {
+		fwdDone[i] = make([]float64, n)
+		bwdDone[i] = make([]float64, n)
+		for m := 0; m < n; m++ {
+			fwdDone[i][m] = -1
+			bwdDone[i][m] = -1
+		}
+	}
+	stageFree := make([]float64, p)
+	busy := make([]float64, p)
+	next := make([]int, p)
+	inflight := make([]int, p)
+	peakInflight := make([]int, p)
+
+	remaining := 0
+	for i := range order {
+		remaining += len(order[i])
+	}
+	for remaining > 0 {
+		progressed := false
+		for i := 0; i < p; i++ {
+			for next[i] < len(order[i]) {
+				t := order[i][next[i]]
+				// Dependency readiness.
+				ready := 0.0
+				ok := true
+				if t.forward {
+					if i > 0 {
+						ready = fwdDone[i-1][t.mb]
+						ok = ready >= 0
+					}
+				} else {
+					if i < p-1 {
+						ready = bwdDone[i+1][t.mb]
+						ok = ready >= 0
+					} else {
+						// The last stage's backward follows its own forward.
+						ready = fwdDone[i][t.mb]
+						ok = ready >= 0
+					}
+				}
+				if !ok {
+					break
+				}
+				start := stageFree[i]
+				if ready > start {
+					start = ready
+				}
+				if t.forward {
+					end := start + fwd[i]
+					fwdDone[i][t.mb] = end
+					stageFree[i] = end
+					busy[i] += fwd[i]
+					inflight[i]++
+					if inflight[i] > peakInflight[i] {
+						peakInflight[i] = inflight[i]
+					}
+				} else {
+					end := start + bwd[i]
+					bwdDone[i][t.mb] = end
+					stageFree[i] = end
+					busy[i] += bwd[i]
+					inflight[i]--
+				}
+				next[i]++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("pipesim: schedule deadlock (internal error)")
+		}
+	}
+
+	res := &Result{
+		StageTime:    make([]float64, p),
+		StagePeakMem: make([]float64, p),
+		PeakInflight: peakInflight,
+		StageBusy:    make([]float64, p),
+	}
+	for i := 0; i < p; i++ {
+		t := stageFree[i] + est.Stages[i].DPSync
+		res.StageTime[i] = t
+		if t > res.IterTime {
+			res.IterTime = t
+		}
+		sm := &est.Stages[i]
+		mem := sm.ParamMem + sm.OptMem +
+			sm.ActPerMB*actSlack*float64(peakInflight[i]) +
+			sm.ExtraMem*allocRetain
+		// The same deterministic skew stream perturbs memory slightly
+		// (padding, stream-ordered frees).
+		mem *= skew(seed, cfg, i+1000, false)
+		res.StagePeakMem[i] = mem
+		if mem > res.PeakMem {
+			res.PeakMem = mem
+		}
+		if mem > pm.Cluster.MemoryBytes {
+			res.OOM = true
+		}
+	}
+	for i := 0; i < p; i++ {
+		if res.IterTime > 0 {
+			res.StageBusy[i] = busy[i] / res.IterTime
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,54 @@
+package profiler
+
+import (
+	"testing"
+
+	"aceso/internal/hardware"
+)
+
+// FuzzParseOpKey asserts the serialized-key codec: String∘parse is the
+// identity on valid keys, and arbitrary strings never panic.
+func FuzzParseOpKey(f *testing.F) {
+	f.Add("op|qkv|2|0|4|2|true|fp16")
+	f.Add("op|mlp1|1|1|8|1|false|fp32")
+	f.Add("op||0|0|0|0|x|y")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, s string) {
+		k, ok := parseOpKey(s)
+		if !ok {
+			return
+		}
+		// Round trip through the canonical form.
+		k2, ok2 := parseOpKey(k.String())
+		if !ok2 {
+			t.Fatalf("canonical form %q of %q does not parse", k.String(), s)
+		}
+		if k2 != k {
+			t.Fatalf("round trip changed key: %+v vs %+v", k, k2)
+		}
+	})
+}
+
+// FuzzOpKeyRoundTrip drives the codec from the struct side.
+func FuzzOpKeyRoundTrip(f *testing.F) {
+	f.Add("qkv", 2, 1, 4, 2, true, false)
+	f.Fuzz(func(t *testing.T, name string, tp, dim, samples, shards int, backward, fp32 bool) {
+		for _, r := range name {
+			if r == '|' || r == '\n' {
+				t.Skip() // names never contain separators
+			}
+		}
+		prec := hardware.FP16
+		if fp32 {
+			prec = hardware.FP32
+		}
+		k := opKey{name, tp, dim, samples, shards, backward, prec}
+		k2, ok := parseOpKey(k.String())
+		if !ok {
+			t.Fatalf("own String() %q does not parse", k.String())
+		}
+		if k2 != k {
+			t.Fatalf("round trip: %+v vs %+v", k, k2)
+		}
+	})
+}

@@ -1,0 +1,278 @@
+// Package profiler is the analytic stand-in for the paper's
+// profiling-based operator database (§3.3).
+//
+// The paper runs every operator 50 times on V100 GPUs under each
+// partition method and stores the averaged time in a database that is
+// reused across searches. Without GPUs we synthesize that database:
+// operator times come from a roofline-style model (FLOPs over
+// utilization-scaled peak throughput, plus a kernel-launch overhead),
+// and every entry carries a small deterministic perturbation derived
+// from its key — the stable measurement noise a profiled average would
+// bake in. Entries are memoized exactly like the reusable database the
+// paper describes, and can be saved/loaded as JSON.
+package profiler
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"strings"
+	"sync"
+
+	"aceso/internal/collective"
+	"aceso/internal/hardware"
+	"aceso/internal/model"
+)
+
+const (
+	// launchOverhead is the fixed per-kernel dispatch cost (seconds).
+	launchOverhead = 4e-6
+	// halfUtilFLOPs is the per-kernel work at which a kernel reaches
+	// half of MaxUtil; smaller kernels are launch/memory bound (a V100
+	// matmul needs tens of GFLOPs before tensor cores saturate). This
+	// is what makes over-sharding small operators — and over-splitting
+	// microbatches — unprofitable (the Wide-ResNet case study in §5.4).
+	halfUtilFLOPs = 10e9
+	// perturbAmp is the amplitude of the deterministic per-entry
+	// perturbation (±4%), standing in for profiling noise.
+	perturbAmp = 0.04
+)
+
+// opKey identifies one operator-database entry. A struct key keeps
+// lookups allocation-free on the search's hot path.
+type opKey struct {
+	name            string
+	tp, dim         int
+	samples, shards int
+	backward        bool
+	prec            hardware.Precision
+}
+
+// String renders the key for the serialized database format.
+func (k opKey) String() string {
+	return fmt.Sprintf("op|%s|%d|%d|%d|%d|%v|%v",
+		k.name, k.tp, k.dim, k.samples, k.shards, k.backward, k.prec)
+}
+
+// parseOpKey inverts String; reports ok=false on malformed input.
+func parseOpKey(s string) (opKey, bool) {
+	var k opKey
+	var backward, prec string
+	parts := strings.Split(s, "|")
+	if len(parts) != 8 || parts[0] != "op" {
+		return k, false
+	}
+	k.name = parts[1]
+	if _, err := fmt.Sscanf(strings.Join(parts[2:], "|"), "%d|%d|%d|%d|%s",
+		&k.tp, &k.dim, &k.samples, &k.shards, &backward); err != nil {
+		return k, false
+	}
+	// backward holds "true|fp16"-style remainder; split again.
+	bp := strings.Split(backward, "|")
+	if len(bp) == 2 {
+		backward, prec = bp[0], bp[1]
+	} else {
+		return k, false
+	}
+	k.backward = backward == "true"
+	if prec == "fp32" {
+		k.prec = hardware.FP32
+	}
+	return k, true
+}
+
+// Profiler produces operator and collective times for one cluster. It
+// is safe for concurrent use by the parallel stage-count searches.
+type Profiler struct {
+	Cluster hardware.Cluster
+	Seed    int64
+
+	mu sync.RWMutex
+	db map[opKey]float64
+
+	cmu   sync.RWMutex
+	cmult map[collKey]float64
+}
+
+// collKey identifies a collective perturbation multiplier.
+type collKey struct {
+	kind  byte // 'r' all-reduce, 'g' all-gather, 'p' p2p
+	group int
+	pl    collective.Placement
+}
+
+// New returns a Profiler for the cluster with a deterministic seed.
+func New(c hardware.Cluster, seed int64) *Profiler {
+	return &Profiler{
+		Cluster: c,
+		Seed:    seed,
+		db:      make(map[opKey]float64),
+		cmult:   make(map[collKey]float64),
+	}
+}
+
+// collPerturb memoizes the perturbation multiplier for a collective.
+func (p *Profiler) collPerturb(kind byte, group int, pl collective.Placement) float64 {
+	key := collKey{kind, group, pl}
+	p.cmu.RLock()
+	m, ok := p.cmult[key]
+	p.cmu.RUnlock()
+	if ok {
+		return m
+	}
+	m = p.perturb(fmt.Sprintf("%c|%d|%d", kind, group, pl))
+	p.cmu.Lock()
+	p.cmult[key] = m
+	p.cmu.Unlock()
+	return m
+}
+
+// perturb returns a deterministic multiplier in [1-perturbAmp, 1+perturbAmp]
+// derived from the entry key and the profiler seed.
+func (p *Profiler) perturb(key string) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", p.Seed, key)
+	u := float64(h.Sum64()%(1<<20)) / float64(1<<20) // [0, 1)
+	return 1 - perturbAmp + 2*perturbAmp*u
+}
+
+// OpTime returns the execution time of one operator invocation.
+//
+//	op       the operator
+//	tp       tensor-parallel degree of the op
+//	dim      index into op.Dims (the sharding choice)
+//	samples  per-data-parallel-replica sample count of the microbatch
+//	shards   effective compute sharding (tp when the op's tensors are
+//	         split, 1 when the op runs replicated on every tp rank)
+//	backward whether this is the backward pass
+//	prec     numeric precision of the model
+func (p *Profiler) OpTime(op *model.Op, tp, dim, samples, shards int, backward bool, prec hardware.Precision) float64 {
+	if samples <= 0 || shards <= 0 {
+		return 0
+	}
+	if tp <= 1 {
+		// An unsharded op runs the same kernel regardless of its
+		// nominal partition dim; normalize so the database agrees.
+		dim = 0
+	}
+	key := opKey{op.Name, tp, dim, samples, shards, backward, prec}
+	p.mu.RLock()
+	t, ok := p.db[key]
+	p.mu.RUnlock()
+	if ok {
+		return t
+	}
+
+	flops := op.FwdFLOPs * float64(samples) / float64(shards)
+	if backward {
+		flops *= op.BwdFLOPsFactor
+	}
+	peak := p.Cluster.PeakFLOPS(prec)
+	util := p.Cluster.MaxUtil * flops / (flops + halfUtilFLOPs)
+	t = launchOverhead
+	if flops > 0 && util > 0 {
+		t += flops / (peak * util)
+	}
+	t *= p.perturb(key.String())
+
+	p.mu.Lock()
+	p.db[key] = t
+	p.mu.Unlock()
+	return t
+}
+
+// AllReduce returns the profiled time of an all-reduce.
+func (p *Profiler) AllReduce(bytes float64, group int, pl collective.Placement) float64 {
+	if group <= 1 || bytes <= 0 {
+		return 0
+	}
+	t := collective.AllReduce(p.Cluster, bytes, group, pl)
+	return t * p.collPerturb('r', group, pl)
+}
+
+// AllGather returns the profiled time of an all-gather.
+func (p *Profiler) AllGather(bytes float64, group int, pl collective.Placement) float64 {
+	if group <= 1 || bytes <= 0 {
+		return 0
+	}
+	t := collective.AllGather(p.Cluster, bytes, group, pl)
+	return t * p.collPerturb('g', group, pl)
+}
+
+// P2P returns the profiled time of a stage-boundary transfer.
+func (p *Profiler) P2P(bytes float64, pl collective.Placement) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	t := collective.P2P(p.Cluster, bytes, pl)
+	return t * p.collPerturb('p', 0, pl)
+}
+
+// Entries returns the number of memoized operator entries.
+func (p *Profiler) Entries() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.db)
+}
+
+// Save writes the memoized database as JSON, mirroring the reusable
+// profiled database of §3.3.
+func (p *Profiler) Save(w io.Writer) error {
+	p.mu.Lock()
+	out := make(map[string]float64, len(p.db))
+	for k, v := range p.db {
+		out[k.String()] = v
+	}
+	p.mu.Unlock()
+	return json.NewEncoder(w).Encode(out)
+}
+
+// Load replaces the memoized database with entries read from r.
+func (p *Profiler) Load(r io.Reader) error {
+	raw := make(map[string]float64)
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return fmt.Errorf("profiler: load: %w", err)
+	}
+	db := make(map[opKey]float64, len(raw))
+	for s, v := range raw {
+		k, ok := parseOpKey(s)
+		if !ok {
+			return fmt.Errorf("profiler: load: malformed key %q", s)
+		}
+		db[k] = v
+	}
+	p.mu.Lock()
+	p.db = db
+	p.mu.Unlock()
+	return nil
+}
+
+// Prewarm fills the database for every operator of g under the given
+// tensor-parallel degrees and per-replica sample counts, using one
+// goroutine per operator. The paper profiles operators sequentially
+// and notes that "the profiling overhead can be highly improved with
+// good parallelization. We leave this as future work" — this is that
+// parallelization.
+func (p *Profiler) Prewarm(g *model.Graph, tps, samples []int) {
+	var wg sync.WaitGroup
+	for i := range g.Ops {
+		wg.Add(1)
+		go func(op *model.Op) {
+			defer wg.Done()
+			for _, tp := range tps {
+				for d := range op.Dims {
+					for _, n := range samples {
+						for _, bwd := range []bool{false, true} {
+							p.OpTime(op, tp, d, n, tp, bwd, g.Precision)
+							if tp > 1 {
+								p.OpTime(op, tp, d, n, 1, bwd, g.Precision)
+							}
+						}
+					}
+				}
+			}
+		}(&g.Ops[i])
+	}
+	wg.Wait()
+}

@@ -1,0 +1,208 @@
+package profiler
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aceso/internal/collective"
+	"aceso/internal/hardware"
+	"aceso/internal/model"
+)
+
+func testOp() *model.Op {
+	g := model.Uniform(1, 1e12, 1e6, 1e5, 64)
+	return &g.Ops[0]
+}
+
+func TestOpTimeDeterministic(t *testing.T) {
+	p := New(hardware.DGX1V100(1), 42)
+	op := testOp()
+	a := p.OpTime(op, 2, 0, 4, 2, false, hardware.FP16)
+	b := p.OpTime(op, 2, 0, 4, 2, false, hardware.FP16)
+	if a != b {
+		t.Errorf("OpTime not deterministic: %v vs %v", a, b)
+	}
+	q := New(hardware.DGX1V100(1), 42)
+	if c := q.OpTime(op, 2, 0, 4, 2, false, hardware.FP16); c != a {
+		t.Errorf("OpTime differs across profilers with same seed: %v vs %v", c, a)
+	}
+}
+
+func TestOpTimeScalesWithWorkAndShards(t *testing.T) {
+	p := New(hardware.DGX1V100(1), 1)
+	op := testOp()
+	t1 := p.OpTime(op, 1, 0, 1, 1, false, hardware.FP16)
+	t8 := p.OpTime(op, 1, 0, 8, 1, false, hardware.FP16)
+	if t8 <= t1 {
+		t.Errorf("more samples should take longer: %v vs %v", t8, t1)
+	}
+	sharded := p.OpTime(op, 8, 0, 8, 8, false, hardware.FP16)
+	if sharded >= t8 {
+		t.Errorf("8-way sharding should beat unsharded: %v vs %v", sharded, t8)
+	}
+}
+
+func TestShardingEfficiencyDegrades(t *testing.T) {
+	// A small op sharded 8 ways should retain well under 8× speedup —
+	// the effect behind the Wide-ResNet case study (§5.4).
+	p := New(hardware.DGX1V100(1), 1)
+	g := model.Uniform(1, 5e8, 1e6, 1e5, 64) // small kernel
+	op := &g.Ops[0]
+	t1 := p.OpTime(op, 1, 0, 1, 1, false, hardware.FP32)
+	t8 := p.OpTime(op, 8, 0, 1, 8, false, hardware.FP32)
+	speedup := t1 / t8
+	if speedup >= 6 {
+		t.Errorf("speedup = %.2f, want sublinear (< 6) for a small kernel", speedup)
+	}
+	if t8 >= t1 {
+		t.Errorf("sharding should still help: %v vs %v", t8, t1)
+	}
+}
+
+func TestBackwardCostsMore(t *testing.T) {
+	p := New(hardware.DGX1V100(1), 1)
+	op := testOp() // BwdFLOPsFactor = 2
+	fwd := p.OpTime(op, 1, 0, 4, 1, false, hardware.FP16)
+	bwd := p.OpTime(op, 1, 0, 4, 1, true, hardware.FP16)
+	if bwd <= fwd {
+		t.Errorf("backward (%v) should exceed forward (%v)", bwd, fwd)
+	}
+	if bwd > 2.5*fwd {
+		t.Errorf("backward (%v) should be ≈2× forward (%v)", bwd, fwd)
+	}
+}
+
+func TestFP32SlowerThanFP16(t *testing.T) {
+	p := New(hardware.DGX1V100(1), 1)
+	op := testOp()
+	f16 := p.OpTime(op, 1, 0, 4, 1, false, hardware.FP16)
+	f32 := p.OpTime(op, 1, 0, 4, 1, false, hardware.FP32)
+	if f32 <= f16 {
+		t.Errorf("fp32 (%v) should be slower than fp16 (%v)", f32, f16)
+	}
+}
+
+func TestZeroInputs(t *testing.T) {
+	p := New(hardware.DGX1V100(1), 1)
+	op := testOp()
+	if got := p.OpTime(op, 1, 0, 0, 1, false, hardware.FP16); got != 0 {
+		t.Errorf("OpTime(samples=0) = %v, want 0", got)
+	}
+	if got := p.AllReduce(0, 8, collective.IntraNode); got != 0 {
+		t.Errorf("AllReduce(0 bytes) = %v, want 0", got)
+	}
+	if got := p.AllReduce(1e6, 1, collective.IntraNode); got != 0 {
+		t.Errorf("AllReduce(group 1) = %v, want 0", got)
+	}
+	if got := p.P2P(0, collective.InterNode); got != 0 {
+		t.Errorf("P2P(0) = %v, want 0", got)
+	}
+}
+
+func TestPerturbationBounded(t *testing.T) {
+	p := New(hardware.DGX1V100(1), 7)
+	// The perturbed collective time must stay within ±4% of analytic.
+	c := p.Cluster
+	for _, g := range []int{2, 4, 8, 16} {
+		base := collective.AllReduce(c, 1e8, g, collective.InterNode)
+		got := p.AllReduce(1e8, g, collective.InterNode)
+		if got < base*(1-perturbAmp)-1e-15 || got > base*(1+perturbAmp)+1e-15 {
+			t.Errorf("group %d: perturbed %v outside ±4%% of %v", g, got, base)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	p := New(hardware.DGX1V100(1), 9)
+	op := testOp()
+	want := p.OpTime(op, 4, 0, 2, 4, true, hardware.FP16)
+	if p.Entries() != 1 {
+		t.Fatalf("Entries() = %d, want 1", p.Entries())
+	}
+
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	q := New(hardware.DGX1V100(1), 9)
+	if err := q.Load(&buf); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if q.Entries() != 1 {
+		t.Fatalf("after Load, Entries() = %d, want 1", q.Entries())
+	}
+	if got := q.OpTime(op, 4, 0, 2, 4, true, hardware.FP16); got != want {
+		t.Errorf("loaded DB returns %v, want %v", got, want)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	p := New(hardware.DGX1V100(1), 9)
+	if err := p.Load(strings.NewReader("not json")); err == nil {
+		t.Fatal("Load(garbage) should fail")
+	}
+}
+
+func TestPrewarmFillsDatabaseConcurrently(t *testing.T) {
+	g, err := model.GPT3("350M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(hardware.DGX1V100(1), 3)
+	p.Prewarm(g, []int{1, 2, 4}, []int{1, 2})
+	warm := p.Entries()
+	if warm == 0 {
+		t.Fatal("Prewarm filled nothing")
+	}
+	// Subsequent queries hit the warm database (no growth).
+	op := &g.Ops[1]
+	p.OpTime(op, 2, 0, 1, 2, false, hardware.FP16)
+	if p.Entries() != warm {
+		t.Errorf("entries grew from %d to %d after a pre-warmed query", warm, p.Entries())
+	}
+	// Prewarmed values equal lazily computed ones.
+	q := New(hardware.DGX1V100(1), 3)
+	if got, want := q.OpTime(op, 2, 0, 1, 2, false, hardware.FP16),
+		p.OpTime(op, 2, 0, 1, 2, false, hardware.FP16); got != want {
+		t.Errorf("prewarmed %v != lazy %v", want, got)
+	}
+}
+
+func TestLoadRejectsMalformedKeys(t *testing.T) {
+	p := New(hardware.DGX1V100(1), 1)
+	for _, bad := range []string{
+		`{"nonsense": 1}`,
+		`{"op|x|1": 2}`,
+		`{"op|x|a|b|c|d|e|f": 2}`,
+	} {
+		if err := p.Load(strings.NewReader(bad)); err == nil {
+			t.Errorf("Load(%s) accepted", bad)
+		}
+	}
+}
+
+func TestSaveLoadLargeDatabase(t *testing.T) {
+	g, err := model.WideResNet("0.5B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(hardware.DGX1V100(1), 2)
+	p.Prewarm(g, []int{1, 2}, []int{1})
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q := New(hardware.DGX1V100(1), 2)
+	if err := q.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if q.Entries() != p.Entries() {
+		t.Errorf("entries %d != %d after round trip", q.Entries(), p.Entries())
+	}
+	// Spot-check a value survives exactly.
+	op := &g.Ops[0]
+	if q.OpTime(op, 2, 0, 1, 2, false, hardware.FP32) != p.OpTime(op, 2, 0, 1, 2, false, hardware.FP32) {
+		t.Error("round-tripped value differs")
+	}
+}

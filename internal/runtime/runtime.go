@@ -1,0 +1,798 @@
+// Package runtime numerically executes parallel-training
+// configurations, reproducing the paper's correctness methodology:
+// §4 validates Aceso's implementation "by comparing the output with
+// that of the original Megatron-LM". Here, any valid configuration of
+// an MLP graph (model.MLP) — pipeline stages as concurrent goroutines
+// exchanging activations through the channel-based collectives of
+// internal/comm, column/row-parallel linear layers, data-parallel row
+// sharding with gradient summation, microbatching and recomputation —
+// is executed end to end and compared against a serial reference.
+// Because every reconfiguration primitive is semantic-preserving, the
+// parallel execution must converge identically (up to floating-point
+// summation order) for every configuration the search visits.
+package runtime
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"aceso/internal/comm"
+	"aceso/internal/config"
+	"aceso/internal/model"
+	"aceso/internal/tensor"
+)
+
+// Optimizer selects the update rule applied after each iteration.
+type Optimizer int
+
+const (
+	// SGD applies plain stochastic gradient descent.
+	SGD Optimizer = iota
+	// Adam applies Adam (Kingma & Ba) with β1 = 0.9, β2 = 0.999 —
+	// the optimizer the paper's workloads actually train with, and
+	// the reason optimizer state dominates Eq. 1's M_opt term.
+	Adam
+)
+
+// Adam hyper-parameters.
+const (
+	adamBeta1 = 0.9
+	adamBeta2 = 0.999
+	adamEps   = 1e-8
+)
+
+// Params holds the weights of an executable graph: per op ID, a
+// weight matrix and a 1×out bias (gain/bias for layer norms). Arch is
+// non-nil for transformer graphs (see InitParamsArch). Opt selects the
+// update rule; Adam keeps first/second-moment state per parameter.
+type Params struct {
+	W    map[int]*tensor.Mat
+	B    map[int]*tensor.Mat
+	Arch *Arch
+	Opt  Optimizer
+
+	// Adam state (lazily sized by ensureOptState before training;
+	// stages update disjoint op IDs, so no locking is needed).
+	mW, vW map[int]*tensor.Mat
+	mB, vB map[int]*tensor.Mat
+}
+
+// ensureOptState sizes the Adam moment buffers. It must run before
+// concurrent stage goroutines start (map writes are not synchronized).
+func (p *Params) ensureOptState() {
+	if p.Opt != Adam || p.mW != nil {
+		return
+	}
+	p.mW, p.vW = map[int]*tensor.Mat{}, map[int]*tensor.Mat{}
+	p.mB, p.vB = map[int]*tensor.Mat{}, map[int]*tensor.Mat{}
+	for id, w := range p.W {
+		p.mW[id] = tensor.New(w.Rows, w.Cols)
+		p.vW[id] = tensor.New(w.Rows, w.Cols)
+		b := p.B[id]
+		p.mB[id] = tensor.New(1, b.Cols)
+		p.vB[id] = tensor.New(1, b.Cols)
+	}
+}
+
+// newRNG returns a deterministic generator.
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// InitParams initializes deterministic weights for every linear op.
+func InitParams(g *model.Graph, seed int64) *Params {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Params{W: map[int]*tensor.Mat{}, B: map[int]*tensor.Mat{}}
+	for i := range g.Ops {
+		op := &g.Ops[i]
+		dim := int(op.ActElems)
+		switch op.Kind {
+		case model.KindMatMul:
+			w := tensor.New(dim, dim)
+			scale := 1 / float64(dim)
+			for j := range w.Data {
+				w.Data[j] = rng.NormFloat64() * scale
+			}
+			b := tensor.New(1, dim)
+			for j := range b.Data {
+				b.Data[j] = rng.NormFloat64() * 0.01
+			}
+			p.W[i] = w
+			p.B[i] = b
+		case model.KindLayerNorm:
+			// Gain initialized to ones, bias to zeros, as frameworks do.
+			gain := tensor.New(1, dim)
+			for j := range gain.Data {
+				gain.Data[j] = 1
+			}
+			p.W[i] = gain
+			p.B[i] = tensor.New(1, dim)
+		}
+	}
+	return p
+}
+
+// Clone deep-copies the parameters (optimizer state starts fresh).
+func (p *Params) Clone() *Params {
+	out := &Params{W: map[int]*tensor.Mat{}, B: map[int]*tensor.Mat{}, Arch: p.Arch, Opt: p.Opt}
+	for k, v := range p.W {
+		out.W[k] = v.Clone()
+	}
+	for k, v := range p.B {
+		out.B[k] = v.Clone()
+	}
+	return out
+}
+
+// MaxDiff returns the largest element-wise difference between two
+// parameter sets.
+func (p *Params) MaxDiff(q *Params) float64 {
+	var max float64
+	for k, v := range p.W {
+		if d := tensor.MaxAbsDiff(v, q.W[k]); d > max {
+			max = d
+		}
+	}
+	for k, v := range p.B {
+		if d := tensor.MaxAbsDiff(v, q.B[k]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+type grads struct {
+	W map[int]*tensor.Mat
+	B map[int]*tensor.Mat
+}
+
+func newGrads(p *Params, ops []int) *grads {
+	g := &grads{W: map[int]*tensor.Mat{}, B: map[int]*tensor.Mat{}}
+	for _, id := range ops {
+		if w, ok := p.W[id]; ok {
+			g.W[id] = tensor.New(w.Rows, w.Cols)
+			g.B[id] = tensor.New(1, p.B[id].Cols)
+		}
+	}
+	return g
+}
+
+// Serial trains the MLP for iters steps of microbatched SGD on one
+// device and returns the per-iteration losses. It is the reference
+// that Parallel must match.
+func Serial(g *model.Graph, p *Params, x, y *tensor.Mat, microBatch int, lr float64, iters int) ([]float64, error) {
+	rps := p.rowsPerSample()
+	if err := checkData(g, x, y, microBatch, rps); err != nil {
+		return nil, err
+	}
+	mbRows := microBatch * rps
+	numMB := x.Rows / mbRows
+	p.ensureOptState()
+	losses := make([]float64, 0, iters)
+	opIDs := make([]int, len(g.Ops))
+	for i := range opIDs {
+		opIDs[i] = i
+	}
+	for it := 0; it < iters; it++ {
+		acc := newGrads(p, opIDs)
+		var lossSum float64
+		for mb := 0; mb < numMB; mb++ {
+			xmb := tensor.RowSlice(x, mb*mbRows, (mb+1)*mbRows)
+			ymb := tensor.RowSlice(y, mb*mbRows, (mb+1)*mbRows)
+			// Forward, stashing each op's input.
+			stash := make([]*tensor.Mat, len(g.Ops))
+			act := xmb
+			for i := range g.Ops {
+				stash[i] = act
+				switch g.Ops[i].Kind {
+				case model.KindMatMul:
+					act = tensor.AddBias(tensor.MatMul(act, p.W[i]), p.B[i])
+				case model.KindLayerNorm:
+					act, _ = tensor.LayerNorm(act, p.W[i], p.B[i])
+				case model.KindAttentionCore:
+					if p.Arch == nil {
+						return nil, fmt.Errorf("runtime: attention op %d needs Arch params", i)
+					}
+					act = attnForward(act, p.Arch.Seq, p.Arch.Hidden/p.Arch.Heads, p.Arch.Causal)
+				case model.KindElementwise:
+					act = tensor.ReLU(act)
+				default:
+					return nil, fmt.Errorf("runtime: unsupported op kind %v", g.Ops[i].Kind)
+				}
+			}
+			loss, d := tensor.MSE(act, ymb)
+			lossSum += loss
+			// Backward.
+			for i := len(g.Ops) - 1; i >= 0; i-- {
+				switch g.Ops[i].Kind {
+				case model.KindMatMul:
+					tensor.AddInPlace(acc.W[i], tensor.MatMul(tensor.Transpose(stash[i]), d))
+					tensor.ColSumTo(acc.B[i], d)
+					d = tensor.MatMul(d, tensor.Transpose(p.W[i]))
+				case model.KindLayerNorm:
+					// Recompute the normalization cache from the input.
+					_, cache := tensor.LayerNorm(stash[i], p.W[i], p.B[i])
+					d = tensor.LayerNormBackward(d, cache, p.W[i], acc.W[i], acc.B[i])
+				case model.KindAttentionCore:
+					d = attnBackward(d, stash[i], p.Arch.Seq, p.Arch.Hidden/p.Arch.Heads, p.Arch.Causal)
+				case model.KindElementwise:
+					d = tensor.ReLUBackward(d, stash[i])
+				}
+			}
+		}
+		applyUpdate(p, acc, lr, 1/float64(numMB), it+1)
+		losses = append(losses, lossSum/float64(numMB))
+	}
+	return losses, nil
+}
+
+// applyUpdate applies one optimizer step to the ops present in acc.
+// gradScale folds the microbatch averaging (1/numMB); step is the
+// 1-based iteration count (Adam bias correction).
+func applyUpdate(p *Params, acc *grads, lr, gradScale float64, step int) {
+	for id, dw := range acc.W {
+		updateTensor(p, id, p.W[id], dw, p.mW, p.vW, lr, gradScale, step)
+		updateTensor(p, id, p.B[id], acc.B[id], p.mB, p.vB, lr, gradScale, step)
+	}
+}
+
+func updateTensor(p *Params, id int, w, g *tensor.Mat, ms, vs map[int]*tensor.Mat, lr, gradScale float64, step int) {
+	if p.Opt != Adam {
+		s := lr * gradScale
+		for i := range w.Data {
+			w.Data[i] -= s * g.Data[i]
+		}
+		return
+	}
+	m, v := ms[id], vs[id]
+	c1 := 1 - pow(adamBeta1, step)
+	c2 := 1 - pow(adamBeta2, step)
+	for i := range w.Data {
+		grad := g.Data[i] * gradScale
+		m.Data[i] = adamBeta1*m.Data[i] + (1-adamBeta1)*grad
+		v.Data[i] = adamBeta2*v.Data[i] + (1-adamBeta2)*grad*grad
+		mhat := m.Data[i] / c1
+		vhat := v.Data[i] / c2
+		w.Data[i] -= lr * mhat / (sqrtf(vhat) + adamEps)
+	}
+}
+
+func pow(b float64, n int) float64 {
+	out := 1.0
+	for i := 0; i < n; i++ {
+		out *= b
+	}
+	return out
+}
+
+func sqrtf(v float64) float64 { return math.Sqrt(v) }
+
+func checkData(g *model.Graph, x, y *tensor.Mat, microBatch, rowsPerSample int) error {
+	if x.Rows != g.GlobalBatch*rowsPerSample {
+		return fmt.Errorf("runtime: X has %d rows, want batch %d × %d rows/sample",
+			x.Rows, g.GlobalBatch, rowsPerSample)
+	}
+	if y.Rows != x.Rows {
+		return fmt.Errorf("runtime: X/Y row mismatch %d vs %d", x.Rows, y.Rows)
+	}
+	if microBatch <= 0 || g.GlobalBatch%microBatch != 0 {
+		return fmt.Errorf("runtime: microbatch %d does not divide batch %d", microBatch, g.GlobalBatch)
+	}
+	return nil
+}
+
+// Parallel trains the MLP under cfg — concurrent pipeline stages,
+// column/row tensor parallelism, data-parallel row sharding,
+// microbatching and recomputation — and returns per-iteration losses.
+// The final parameters are written back into p; they must match
+// Serial's up to floating-point summation order.
+func Parallel(g *model.Graph, cfg *config.Config, p *Params, x, y *tensor.Mat, lr float64, iters int) ([]float64, error) {
+	rps := p.rowsPerSample()
+	if err := checkData(g, x, y, cfg.MicroBatch, rps); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(g, cfg.TotalDevices()); err != nil {
+		return nil, fmt.Errorf("runtime: %w", err)
+	}
+	for si := range cfg.Stages {
+		st := &cfg.Stages[si]
+		for j := st.Start; j < st.End; j++ {
+			op := &g.Ops[j]
+			set := st.Setting(j)
+			switch op.Kind {
+			case model.KindMatMul:
+				w := p.W[j]
+				if w == nil {
+					return nil, fmt.Errorf("runtime: op %d has no weights", j)
+				}
+				if w.Cols%set.TP != 0 || w.Rows%set.TP != 0 {
+					return nil, fmt.Errorf("runtime: op %d weight %d×%d not divisible by tp %d",
+						j, w.Rows, w.Cols, set.TP)
+				}
+			case model.KindAttentionCore:
+				if p.Arch == nil {
+					return nil, fmt.Errorf("runtime: attention op %d needs Arch params", j)
+				}
+				if p.Arch.Heads%set.TP != 0 {
+					return nil, fmt.Errorf("runtime: op %d: %d heads not divisible by tp %d",
+						j, p.Arch.Heads, set.TP)
+				}
+			}
+		}
+	}
+
+	p.ensureOptState()
+	world := comm.NewWorld(cfg.TotalDevices())
+	numMB := g.GlobalBatch / cfg.MicroBatch
+	p0 := cfg.NumStages()
+
+	type stageOut struct {
+		losses []float64
+		err    error
+	}
+	outs := make([]stageOut, p0)
+	var wg sync.WaitGroup
+	for si := 0; si < p0; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			ex := &stageExec{
+				g: g, cfg: cfg, si: si, st: &cfg.Stages[si],
+				world: world, params: p,
+				firstDev: cfg.FirstDev(si),
+			}
+			losses, err := ex.run(x, y, lr, iters, numMB)
+			outs[si] = stageOut{losses, err}
+		}(si)
+	}
+	wg.Wait()
+	for si := range outs {
+		if outs[si].err != nil {
+			return nil, fmt.Errorf("runtime: stage %d: %w", si, outs[si].err)
+		}
+	}
+	return outs[p0-1].losses, nil
+}
+
+// acts is the in-stage activation state: dp row-shards, each either a
+// single replicated matrix or tp column shards.
+type acts struct {
+	dp, tp int
+	layout model.Layout
+	parts  [][]*tensor.Mat // [dpIdx][tpIdx]; tp==1 ⇒ one full part
+}
+
+// full assembles the complete microbatch activation.
+func (a *acts) full() *tensor.Mat {
+	rows := make([]*tensor.Mat, a.dp)
+	for d := 0; d < a.dp; d++ {
+		if a.layout == model.Split && a.tp > 1 {
+			rows[d] = tensor.ConcatCols(a.parts[d]...)
+		} else {
+			rows[d] = a.parts[d][0]
+		}
+	}
+	if a.dp == 1 {
+		return rows[0]
+	}
+	return tensor.ConcatRows(rows...)
+}
+
+func fromFull(m *tensor.Mat, dp int) *acts {
+	a := &acts{dp: dp, tp: 1, layout: model.Replicated, parts: make([][]*tensor.Mat, dp)}
+	rows := m.Rows / dp
+	for d := 0; d < dp; d++ {
+		a.parts[d] = []*tensor.Mat{tensor.RowSlice(m, d*rows, (d+1)*rows)}
+	}
+	return a
+}
+
+// stageExec runs one pipeline stage.
+type stageExec struct {
+	g        *model.Graph
+	cfg      *config.Config
+	si       int
+	st       *config.Stage
+	world    *comm.World
+	params   *Params
+	firstDev int
+}
+
+// tpGroup returns the global ranks of replica d's tensor-parallel
+// group for an op with degree tp.
+func (e *stageExec) tpGroup(d, tp int) []int {
+	base := e.firstDev + d*tp
+	out := make([]int, tp)
+	for t := range out {
+		out[t] = base + t
+	}
+	return out
+}
+
+// tpAllReduce sums parts across the tp group using one goroutine per
+// rank — the runtime's NCCL-equivalent path.
+func (e *stageExec) tpAllReduce(d int, parts []*tensor.Mat) *tensor.Mat {
+	group := e.tpGroup(d, len(parts))
+	outs := make([]*tensor.Mat, len(parts))
+	var wg sync.WaitGroup
+	for t := range parts {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			outs[t] = e.world.AllReduceSum(group, group[t], parts[t])
+		}(t)
+	}
+	wg.Wait()
+	return outs[0]
+}
+
+// stash holds what one microbatch's backward needs: the input acts of
+// every op (nil for recomputed ops) plus the stage input.
+type stash struct {
+	input  *tensor.Mat // stage-boundary input (full rows)
+	perOp  []*acts     // index: op - st.Start
+	output *acts       // final activation (last stage only)
+}
+
+// forward runs the stage's ops for one microbatch, returning the
+// stash. When record is false (recompute's regeneration pass skips
+// nothing), rc ops stash too.
+func (e *stageExec) forward(in *tensor.Mat, record bool) *stash {
+	s := &stash{input: in, perOp: make([]*acts, e.st.NumOps())}
+	var a *acts
+	for j := e.st.Start; j < e.st.End; j++ {
+		set := e.st.Setting(j)
+		if a == nil || a.dp != set.DP {
+			var fullIn *tensor.Mat
+			if a == nil {
+				fullIn = in
+			} else {
+				fullIn = a.full()
+			}
+			a = fromFull(fullIn, set.DP)
+		}
+		if record || !set.Recompute {
+			s.perOp[j-e.st.Start] = a
+		}
+		a = e.forwardOp(j, a)
+	}
+	s.output = a
+	return s
+}
+
+// forwardOp applies op j to activation a.
+func (e *stageExec) forwardOp(j int, a *acts) *acts {
+	op := &e.g.Ops[j]
+	set := e.st.Setting(j)
+	switch op.Kind {
+	case model.KindMatMul:
+		dim := op.Dims[set.Dim]
+		w, b := e.params.W[j], e.params.B[j]
+		cols := w.Cols
+		out := &acts{dp: set.DP, tp: set.TP, parts: make([][]*tensor.Mat, set.DP)}
+		for d := 0; d < set.DP; d++ {
+			xFull := replicaFull(a, d)
+			if set.TP == 1 {
+				out.tp = 1
+				out.layout = model.Replicated
+				out.parts[d] = []*tensor.Mat{tensor.AddBias(tensor.MatMul(xFull, w), b)}
+				continue
+			}
+			if dim.Name == "col" {
+				// Column-parallel: shard W's columns; outputs stay split.
+				shard := cols / set.TP
+				parts := make([]*tensor.Mat, set.TP)
+				for t := 0; t < set.TP; t++ {
+					wt := tensor.ColSlice(w, t*shard, (t+1)*shard)
+					bt := tensor.ColSlice(b, t*shard, (t+1)*shard)
+					parts[t] = tensor.AddBias(tensor.MatMul(xFull, wt), bt)
+				}
+				out.layout = model.Split
+				out.parts[d] = parts
+			} else {
+				// Row-parallel: shard X's columns and W's rows; the
+				// partial products all-reduce to the full output.
+				shard := w.Rows / set.TP
+				partials := make([]*tensor.Mat, set.TP)
+				for t := 0; t < set.TP; t++ {
+					xt := tensor.ColSlice(xFull, t*shard, (t+1)*shard)
+					wt := tensor.RowSlice(w, t*shard, (t+1)*shard)
+					partials[t] = tensor.MatMul(xt, wt)
+				}
+				sum := e.tpAllReduce(d, partials)
+				out.tp = 1
+				out.layout = model.Replicated
+				out.parts[d] = []*tensor.Mat{tensor.AddBias(sum, b)}
+			}
+		}
+		return out
+	case model.KindAttentionCore:
+		// DimHead: each tp rank attends over its own heads. A matching
+		// column-split input (head-major QKV blocks from the column-
+		// parallel projection) is consumed shard-by-shard; otherwise
+		// gather and re-slice on head boundaries.
+		arch := e.params.Arch
+		dh := arch.Hidden / arch.Heads
+		out := &acts{dp: set.DP, tp: set.TP, layout: model.Split, parts: make([][]*tensor.Mat, set.DP)}
+		if set.TP == 1 {
+			out.layout = model.Replicated
+		}
+		for d := 0; d < set.DP; d++ {
+			parts := headParts(a, d, set.TP)
+			outParts := make([]*tensor.Mat, len(parts))
+			for t, qkv := range parts {
+				outParts[t] = attnForward(qkv, arch.Seq, dh, arch.Causal)
+			}
+			out.parts[d] = outParts
+		}
+		return out
+	case model.KindLayerNorm:
+		// DimNone: computed replicated on every tp rank over the full
+		// hidden dimension — a column-split input gathers first (the
+		// relayout the performance model charges for).
+		out := &acts{dp: set.DP, tp: 1, layout: model.Replicated, parts: make([][]*tensor.Mat, set.DP)}
+		gain, bias := e.params.W[j], e.params.B[j]
+		for d := 0; d < set.DP; d++ {
+			xFull := replicaFull(a, d)
+			y, _ := tensor.LayerNorm(xFull, gain, bias)
+			out.parts[d] = []*tensor.Mat{y}
+		}
+		return out
+	case model.KindElementwise:
+		out := &acts{dp: a.dp, tp: a.tp, layout: a.layout, parts: make([][]*tensor.Mat, a.dp)}
+		for d := range a.parts {
+			out.parts[d] = make([]*tensor.Mat, len(a.parts[d]))
+			for t := range a.parts[d] {
+				out.parts[d][t] = tensor.ReLU(a.parts[d][t])
+			}
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("runtime: unsupported op kind %v", op.Kind))
+	}
+}
+
+// replicaFull returns replica d's rows as one full-width matrix.
+func replicaFull(a *acts, d int) *tensor.Mat {
+	if a.layout == model.Split && a.tp > 1 {
+		return tensor.ConcatCols(a.parts[d]...)
+	}
+	return a.parts[d][0]
+}
+
+// backward runs the stage's backward for one microbatch, accumulating
+// weight gradients into acc and returning the gradient for the
+// previous stage (full rows).
+func (e *stageExec) backward(s *stash, dOut *tensor.Mat, acc *grads) *tensor.Mat {
+	// Regenerate missing stashes (recomputation).
+	for j := e.st.Start; j < e.st.End; j++ {
+		if s.perOp[j-e.st.Start] == nil {
+			s = e.forward(s.input, true)
+			break
+		}
+	}
+	d := fromFull(dOut, e.st.Setting(e.st.End-1).DP)
+	for j := e.st.End - 1; j >= e.st.Start; j-- {
+		set := e.st.Setting(j)
+		if d.dp != set.DP {
+			d = fromFull(d.full(), set.DP)
+		}
+		in := s.perOp[j-e.st.Start]
+		d = e.backwardOp(j, in, d, acc)
+	}
+	return d.full()
+}
+
+// backwardOp propagates gradients through op j given its stashed input.
+func (e *stageExec) backwardOp(j int, in, d *acts, acc *grads) *acts {
+	op := &e.g.Ops[j]
+	set := e.st.Setting(j)
+	switch op.Kind {
+	case model.KindMatMul:
+		dim := op.Dims[set.Dim]
+		w := e.params.W[j]
+		out := &acts{dp: set.DP, tp: 1, layout: model.Replicated, parts: make([][]*tensor.Mat, set.DP)}
+		for dp := 0; dp < set.DP; dp++ {
+			xFull := replicaFull(in, dp)
+			if set.TP == 1 {
+				dy := replicaFull(d, dp)
+				tensor.AddInPlace(acc.W[j], tensor.MatMul(tensor.Transpose(xFull), dy))
+				tensor.ColSumTo(acc.B[j], dy)
+				out.parts[dp] = []*tensor.Mat{tensor.MatMul(dy, tensor.Transpose(w))}
+				continue
+			}
+			if dim.Name == "col" {
+				// dY arrives split; each shard contributes to its W
+				// columns, and dX all-reduces across the group.
+				shard := w.Cols / set.TP
+				dyParts := splitCols(d, dp, set.TP)
+				partials := make([]*tensor.Mat, set.TP)
+				for t := 0; t < set.TP; t++ {
+					dwt := tensor.MatMul(tensor.Transpose(xFull), dyParts[t])
+					accCols(acc.W[j], dwt, t*shard)
+					accColsBias(acc.B[j], dyParts[t], t*shard)
+					wt := tensor.ColSlice(w, t*shard, (t+1)*shard)
+					partials[t] = tensor.MatMul(dyParts[t], tensor.Transpose(wt))
+				}
+				out.parts[dp] = []*tensor.Mat{e.tpAllReduce(dp, partials)}
+			} else {
+				// Row-parallel: dY is replicated; X was column-split.
+				shard := w.Rows / set.TP
+				dy := replicaFull(d, dp)
+				dxParts := make([]*tensor.Mat, set.TP)
+				for t := 0; t < set.TP; t++ {
+					xt := tensor.ColSlice(xFull, t*shard, (t+1)*shard)
+					dwt := tensor.MatMul(tensor.Transpose(xt), dy)
+					accRows(acc.W[j], dwt, t*shard)
+					dxParts[t] = tensor.MatMul(dy, tensor.Transpose(tensor.RowSlice(w, t*shard, (t+1)*shard)))
+				}
+				tensor.ColSumTo(acc.B[j], dy)
+				out.parts[dp] = []*tensor.Mat{tensor.ConcatCols(dxParts...)}
+			}
+		}
+		return out
+	case model.KindAttentionCore:
+		arch := e.params.Arch
+		dh := arch.Hidden / arch.Heads
+		out := &acts{dp: set.DP, tp: set.TP, layout: model.Split, parts: make([][]*tensor.Mat, set.DP)}
+		if set.TP == 1 {
+			out.layout = model.Replicated
+		}
+		for dp := 0; dp < set.DP; dp++ {
+			qkvParts := headParts(in, dp, set.TP)
+			dyParts := ctxParts(d, dp, set.TP)
+			dParts := make([]*tensor.Mat, len(qkvParts))
+			for t := range qkvParts {
+				dParts[t] = attnBackward(dyParts[t], qkvParts[t], arch.Seq, dh, arch.Causal)
+			}
+			out.parts[dp] = dParts
+		}
+		return out
+	case model.KindLayerNorm:
+		out := &acts{dp: set.DP, tp: 1, layout: model.Replicated, parts: make([][]*tensor.Mat, set.DP)}
+		gain := e.params.W[j]
+		for dp := 0; dp < set.DP; dp++ {
+			dy := replicaFull(d, dp)
+			x := replicaFull(in, dp)
+			_, cache := tensor.LayerNorm(x, gain, e.params.B[j])
+			out.parts[dp] = []*tensor.Mat{tensor.LayerNormBackward(dy, cache, gain, acc.W[j], acc.B[j])}
+		}
+		return out
+	case model.KindElementwise:
+		out := &acts{dp: d.dp, tp: 1, layout: model.Replicated, parts: make([][]*tensor.Mat, d.dp)}
+		for dp := 0; dp < d.dp; dp++ {
+			dy := replicaFull(d, dp)
+			x := replicaFull(in, dp)
+			out.parts[dp] = []*tensor.Mat{tensor.ReLUBackward(dy, x)}
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("runtime: unsupported op kind %v", op.Kind))
+	}
+}
+
+// headParts views replica dp's QKV activation as tp head-aligned
+// column shards (width = total/tp, whole heads per shard).
+func headParts(a *acts, dp, tp int) []*tensor.Mat {
+	if a.layout == model.Split && a.tp == tp {
+		return a.parts[dp]
+	}
+	full := replicaFull(a, dp)
+	shard := full.Cols / tp
+	out := make([]*tensor.Mat, tp)
+	for t := 0; t < tp; t++ {
+		out[t] = tensor.ColSlice(full, t*shard, (t+1)*shard)
+	}
+	return out
+}
+
+// ctxParts is headParts for the context-gradient side (same slicing).
+func ctxParts(a *acts, dp, tp int) []*tensor.Mat {
+	return headParts(a, dp, tp)
+}
+
+// splitCols views replica dp's gradient as tp column shards.
+func splitCols(a *acts, dp, tp int) []*tensor.Mat {
+	if a.layout == model.Split && a.tp == tp {
+		return a.parts[dp]
+	}
+	full := replicaFull(a, dp)
+	shard := full.Cols / tp
+	out := make([]*tensor.Mat, tp)
+	for t := 0; t < tp; t++ {
+		out[t] = tensor.ColSlice(full, t*shard, (t+1)*shard)
+	}
+	return out
+}
+
+// accCols accumulates a column-shard gradient into the full matrix.
+func accCols(dst, shard *tensor.Mat, colOff int) {
+	for i := 0; i < shard.Rows; i++ {
+		for j := 0; j < shard.Cols; j++ {
+			dst.Data[i*dst.Cols+colOff+j] += shard.At(i, j)
+		}
+	}
+}
+
+func accColsBias(dst, dy *tensor.Mat, colOff int) {
+	for i := 0; i < dy.Rows; i++ {
+		for j := 0; j < dy.Cols; j++ {
+			dst.Data[colOff+j] += dy.At(i, j)
+		}
+	}
+}
+
+// accRows accumulates a row-shard gradient into the full matrix.
+func accRows(dst, shard *tensor.Mat, rowOff int) {
+	copyOff := rowOff * dst.Cols
+	for i := range shard.Data {
+		dst.Data[copyOff+i] += shard.Data[i]
+	}
+}
+
+// run executes the stage's training loop: per iteration, forward every
+// microbatch (stashing), then backward every microbatch, then apply
+// the accumulated update to this stage's weights.
+func (e *stageExec) run(x, y *tensor.Mat, lr float64, iters, numMB int) ([]float64, error) {
+	opIDs := make([]int, 0, e.st.NumOps())
+	for j := e.st.Start; j < e.st.End; j++ {
+		opIDs = append(opIDs, j)
+	}
+	prevDev, nextDev := -1, -1
+	if e.si > 0 {
+		prevDev = e.cfg.FirstDev(e.si - 1)
+	}
+	if e.si < e.cfg.NumStages()-1 {
+		nextDev = e.cfg.FirstDev(e.si + 1)
+	}
+	last := nextDev < 0
+	mbRows := e.cfg.MicroBatch * e.params.rowsPerSample()
+
+	var losses []float64
+	for it := 0; it < iters; it++ {
+		acc := newGrads(e.params, opIDs)
+		stashes := make([]*stash, numMB)
+		dTop := make([]*tensor.Mat, numMB)
+		var lossSum float64
+		for mb := 0; mb < numMB; mb++ {
+			var in *tensor.Mat
+			if prevDev < 0 {
+				in = tensor.RowSlice(x, mb*mbRows, (mb+1)*mbRows)
+			} else {
+				in = e.world.Recv(prevDev, e.firstDev, tag("fwd", it, mb))
+			}
+			s := e.forward(in, false)
+			stashes[mb] = s
+			if last {
+				out := s.output.full()
+				ymb := tensor.RowSlice(y, mb*mbRows, (mb+1)*mbRows)
+				loss, d := tensor.MSE(out, ymb)
+				lossSum += loss
+				dTop[mb] = d
+			} else {
+				e.world.Send(e.firstDev, nextDev, tag("fwd", it, mb), s.output.full())
+			}
+		}
+		for mb := numMB - 1; mb >= 0; mb-- {
+			var d *tensor.Mat
+			if last {
+				d = dTop[mb]
+			} else {
+				d = e.world.Recv(nextDev, e.firstDev, tag("bwd", it, mb))
+			}
+			dIn := e.backward(stashes[mb], d, acc)
+			if prevDev >= 0 {
+				e.world.Send(e.firstDev, prevDev, tag("bwd", it, mb), dIn)
+			}
+		}
+		applyUpdate(e.params, acc, lr, 1/float64(numMB), it+1)
+		if last {
+			losses = append(losses, lossSum/float64(numMB))
+		}
+	}
+	return losses, nil
+}
+
+func tag(kind string, it, mb int) string {
+	return fmt.Sprintf("%s:%d:%d", kind, it, mb)
+}

@@ -1,0 +1,104 @@
+// Package tablefmt renders the experiment results as plain-text tables
+// and bar charts, so every figure and table of the paper regenerates
+// on a terminal without plotting dependencies.
+package tablefmt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row; values are formatted with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		fmt.Fprintln(w, sb.String())
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// Bars renders a labeled horizontal bar chart scaled to maxWidth
+// characters; values must be non-negative.
+func Bars(w io.Writer, title string, labels []string, values []float64, unit string) {
+	fmt.Fprintln(w, title)
+	max := 0.0
+	width := 0
+	for i, v := range values {
+		if v > max {
+			max = v
+		}
+		if len(labels[i]) > width {
+			width = len(labels[i])
+		}
+	}
+	const maxWidth = 46
+	for i, v := range values {
+		n := 0
+		if max > 0 {
+			n = int(v / max * maxWidth)
+		}
+		fmt.Fprintf(w, "  %-*s %s %.3g%s\n", width, labels[i], strings.Repeat("█", n), v, unit)
+	}
+}
+
+// Series renders an (x, y) series as aligned columns — the text stand-
+// in for the paper's line plots (convergence curves, accuracy plots).
+func Series(w io.Writer, title, xName, yName string, xs []string, ys []float64) {
+	fmt.Fprintln(w, title)
+	t := &Table{Header: []string{xName, yName}}
+	for i := range xs {
+		t.Add(xs[i], ys[i])
+	}
+	t.Render(w)
+}

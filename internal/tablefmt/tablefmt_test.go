@@ -1,0 +1,67 @@
+package tablefmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{Header: []string{"name", "value"}}
+	tb.Add("short", 1)
+	tb.Add("a-much-longer-name", 2.5)
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4 (header, separator, 2 rows)", len(lines))
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator = %q", lines[1])
+	}
+	// Columns align: "value" cells start at the same offset.
+	off := strings.Index(lines[2], "1")
+	if off < 0 || !strings.HasPrefix(lines[3][off-len("a-much-longer-name")+len("short"):], "") {
+		t.Logf("rows: %q / %q", lines[2], lines[3])
+	}
+	if !strings.Contains(lines[3], "2.50") {
+		t.Errorf("float not formatted: %q", lines[3])
+	}
+}
+
+func TestBars(t *testing.T) {
+	var buf bytes.Buffer
+	Bars(&buf, "demo", []string{"a", "bb"}, []float64{1, 2}, "s")
+	out := buf.String()
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	// The larger value gets the longer bar.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if strings.Count(lines[2], "█") <= strings.Count(lines[1], "█") {
+		t.Error("bars not proportional")
+	}
+	// Zero-max edge case must not divide by zero.
+	buf.Reset()
+	Bars(&buf, "zeros", []string{"a"}, []float64{0}, "")
+	if !strings.Contains(buf.String(), "0") {
+		t.Error("zero bars broken")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var buf bytes.Buffer
+	Series(&buf, "curve", "t", "y", []string{"1", "2"}, []float64{3.5, 2.25})
+	out := buf.String()
+	for _, want := range []string{"curve", "t", "y", "3.50", "2.25"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

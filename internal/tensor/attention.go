@@ -1,0 +1,81 @@
+package tensor
+
+import "math"
+
+// SoftmaxRows applies a numerically-stable softmax to each row.
+func SoftmaxRows(x *Mat) *Mat {
+	y := New(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Data[i*x.Cols : (i+1)*x.Cols]
+		out := y.Data[i*x.Cols : (i+1)*x.Cols]
+		max := row[0]
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - max)
+			out[j] = e
+			sum += e
+		}
+		for j := range out {
+			out[j] /= sum
+		}
+	}
+	return y
+}
+
+// SoftmaxRowsBackward returns dx given dy and the softmax output y:
+// dx_i = y_i · (dy_i − Σ_j dy_j·y_j), row-wise.
+func SoftmaxRowsBackward(dy, y *Mat) *Mat {
+	shapeCheck(dy.Rows == y.Rows && dy.Cols == y.Cols, "softmax-bwd", dy, y)
+	dx := New(y.Rows, y.Cols)
+	for i := 0; i < y.Rows; i++ {
+		base := i * y.Cols
+		var dot float64
+		for j := 0; j < y.Cols; j++ {
+			dot += dy.Data[base+j] * y.Data[base+j]
+		}
+		for j := 0; j < y.Cols; j++ {
+			dx.Data[base+j] = y.Data[base+j] * (dy.Data[base+j] - dot)
+		}
+	}
+	return dx
+}
+
+// AttentionHead computes single-head scaled dot-product attention for
+// one sequence: q, k, v are s×dh; the context is s×dh. With causal
+// set, position i attends only to positions ≤ i (decoder masking).
+// The attention probabilities are returned for the backward pass.
+func AttentionHead(q, k, v *Mat, causal bool) (ctx, probs *Mat) {
+	shapeCheck(q.Cols == k.Cols && k.Rows == v.Rows && q.Rows == v.Rows, "attention", q, k)
+	scale := 1 / math.Sqrt(float64(q.Cols))
+	scores := MatMul(q, Transpose(k))
+	Scale(scores, scale)
+	if causal {
+		for i := 0; i < scores.Rows; i++ {
+			for j := i + 1; j < scores.Cols; j++ {
+				scores.Set(i, j, math.Inf(-1))
+			}
+		}
+	}
+	probs = SoftmaxRows(scores)
+	ctx = MatMul(probs, v)
+	return ctx, probs
+}
+
+// AttentionHeadBackward propagates gradients through AttentionHead.
+// It is mask-agnostic: masked positions have zero probability, so
+// their score gradients vanish through the softmax backward.
+func AttentionHeadBackward(dctx, q, k, v, probs *Mat) (dq, dk, dv *Mat) {
+	scale := 1 / math.Sqrt(float64(q.Cols))
+	dv = MatMul(Transpose(probs), dctx)
+	dprobs := MatMul(dctx, Transpose(v))
+	dscores := SoftmaxRowsBackward(dprobs, probs)
+	Scale(dscores, scale)
+	dq = MatMul(dscores, k)
+	dk = MatMul(Transpose(dscores), q)
+	return dq, dk, dv
+}

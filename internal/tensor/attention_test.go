@@ -1,0 +1,169 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSoftmaxRows(t *testing.T) {
+	x := &Mat{Rows: 2, Cols: 3, Data: []float64{1, 2, 3, 1000, 1000, 1000}}
+	y := SoftmaxRows(x)
+	for i := 0; i < 2; i++ {
+		var sum float64
+		for j := 0; j < 3; j++ {
+			v := y.At(i, j)
+			if v <= 0 || v >= 1 {
+				t.Errorf("softmax(%d,%d) = %v out of (0,1)", i, j, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("row %d sums to %v", i, sum)
+		}
+	}
+	// Large inputs (row 1) must not overflow: uniform 1/3 each.
+	if math.Abs(y.At(1, 0)-1.0/3) > 1e-12 {
+		t.Errorf("stability: got %v, want 1/3", y.At(1, 0))
+	}
+	if y.At(0, 2) <= y.At(0, 0) {
+		t.Error("monotonicity lost")
+	}
+}
+
+func TestSoftmaxBackwardFiniteDiff(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x := randMat(rng, 2, 5)
+	target := randMat(rng, 2, 5)
+	loss := func(x *Mat) float64 {
+		l, _ := MSE(SoftmaxRows(x), target)
+		return l
+	}
+	y := SoftmaxRows(x)
+	_, dy := MSE(y, target)
+	dx := SoftmaxRowsBackward(dy, y)
+	const eps = 1e-6
+	for i := 0; i < len(x.Data); i += 3 {
+		orig := x.Data[i]
+		x.Data[i] = orig + eps
+		lp := loss(x)
+		x.Data[i] = orig - eps
+		lm := loss(x)
+		x.Data[i] = orig
+		fd := (lp - lm) / (2 * eps)
+		if math.Abs(fd-dx.Data[i]) > 1e-6 {
+			t.Errorf("dx[%d] = %g, finite diff %g", i, dx.Data[i], fd)
+		}
+	}
+}
+
+func TestAttentionHeadShapesAndRowStochastic(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	q, k, v := randMat(rng, 6, 4), randMat(rng, 6, 4), randMat(rng, 6, 4)
+	ctx, probs := AttentionHead(q, k, v, false)
+	if ctx.Rows != 6 || ctx.Cols != 4 {
+		t.Fatalf("ctx shape %d×%d", ctx.Rows, ctx.Cols)
+	}
+	if probs.Rows != 6 || probs.Cols != 6 {
+		t.Fatalf("probs shape %d×%d", probs.Rows, probs.Cols)
+	}
+	for i := 0; i < probs.Rows; i++ {
+		var sum float64
+		for j := 0; j < probs.Cols; j++ {
+			sum += probs.At(i, j)
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("probs row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestAttentionHeadBackwardFiniteDiff(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	q, k, v := randMat(rng, 4, 3), randMat(rng, 4, 3), randMat(rng, 4, 3)
+	target := randMat(rng, 4, 3)
+	loss := func() float64 {
+		ctx, _ := AttentionHead(q, k, v, false)
+		l, _ := MSE(ctx, target)
+		return l
+	}
+	ctx, probs := AttentionHead(q, k, v, false)
+	_, dctx := MSE(ctx, target)
+	dq, dk, dv := AttentionHeadBackward(dctx, q, k, v, probs)
+
+	const eps = 1e-6
+	check := func(name string, m, grad *Mat) {
+		for i := 0; i < len(m.Data); i += 2 {
+			orig := m.Data[i]
+			m.Data[i] = orig + eps
+			lp := loss()
+			m.Data[i] = orig - eps
+			lm := loss()
+			m.Data[i] = orig
+			fd := (lp - lm) / (2 * eps)
+			if math.Abs(fd-grad.Data[i]) > 1e-6 {
+				t.Errorf("%s grad[%d] = %g, finite diff %g", name, i, grad.Data[i], fd)
+			}
+		}
+	}
+	check("q", q, dq)
+	check("k", k, dk)
+	check("v", v, dv)
+}
+
+func TestCausalAttentionMasking(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	q, k, v := randMat(rng, 5, 3), randMat(rng, 5, 3), randMat(rng, 5, 3)
+	ctx, probs := AttentionHead(q, k, v, true)
+	for i := 0; i < probs.Rows; i++ {
+		var sum float64
+		for j := 0; j < probs.Cols; j++ {
+			p := probs.At(i, j)
+			if j > i && p != 0 {
+				t.Errorf("probs[%d][%d] = %v, want 0 (future masked)", i, j, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("row %d sums to %v", i, sum)
+		}
+	}
+	// Token 0 attends only to itself: its context is exactly v[0].
+	for c := 0; c < 3; c++ {
+		if math.Abs(ctx.At(0, c)-v.At(0, c)) > 1e-12 {
+			t.Errorf("ctx[0][%d] = %v, want v[0][%d] = %v", c, ctx.At(0, c), c, v.At(0, c))
+		}
+	}
+}
+
+func TestCausalAttentionBackwardFiniteDiff(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	q, k, v := randMat(rng, 4, 3), randMat(rng, 4, 3), randMat(rng, 4, 3)
+	target := randMat(rng, 4, 3)
+	loss := func() float64 {
+		ctx, _ := AttentionHead(q, k, v, true)
+		l, _ := MSE(ctx, target)
+		return l
+	}
+	ctx, probs := AttentionHead(q, k, v, true)
+	_, dctx := MSE(ctx, target)
+	dq, dk, dv := AttentionHeadBackward(dctx, q, k, v, probs)
+	const eps = 1e-6
+	check := func(name string, m, grad *Mat) {
+		for i := 0; i < len(m.Data); i += 2 {
+			orig := m.Data[i]
+			m.Data[i] = orig + eps
+			lp := loss()
+			m.Data[i] = orig - eps
+			lm := loss()
+			m.Data[i] = orig
+			fd := (lp - lm) / (2 * eps)
+			if math.Abs(fd-grad.Data[i]) > 1e-6 {
+				t.Errorf("%s grad[%d] = %g, finite diff %g", name, i, grad.Data[i], fd)
+			}
+		}
+	}
+	check("q", q, dq)
+	check("k", k, dk)
+	check("v", v, dv)
+}

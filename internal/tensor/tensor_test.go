@@ -1,0 +1,230 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMat(rng *rand.Rand, rows, cols int) *Mat {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := &Mat{Rows: 2, Cols: 3, Data: []float64{1, 2, 3, 4, 5, 6}}
+	b := &Mat{Rows: 3, Cols: 2, Data: []float64{7, 8, 9, 10, 11, 12}}
+	got := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, v := range want {
+		if got.Data[i] != v {
+			t.Fatalf("MatMul = %v, want %v", got.Data, want)
+		}
+	}
+}
+
+func TestMatMulPanicsOnShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on shape mismatch")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randMat(rng, 5, 7)
+	back := Transpose(Transpose(m))
+	if MaxAbsDiff(m, back) != 0 {
+		t.Fatal("transpose twice is not identity")
+	}
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ.
+func TestMatMulTransposeLaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed uint32) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		a := randMat(r, 1+int(seed%4), 2+int(seed%3))
+		b := randMat(r, a.Cols, 1+int(seed%5))
+		left := Transpose(MatMul(a, b))
+		right := MatMul(Transpose(b), Transpose(a))
+		return MaxAbsDiff(left, right) < 1e-12
+	}
+	_ = rng
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: column-sharded matmul equals full matmul (the identity
+// behind tensor parallelism).
+func TestShardedMatMulEqualsFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randMat(rng, 6, 8)
+	w := randMat(rng, 8, 10)
+	full := MatMul(x, w)
+
+	// Column-parallel: split W's columns, concatenate outputs.
+	w1, w2 := ColSlice(w, 0, 5), ColSlice(w, 5, 10)
+	col := ConcatCols(MatMul(x, w1), MatMul(x, w2))
+	if d := MaxAbsDiff(full, col); d > 1e-12 {
+		t.Errorf("column-parallel diff %g", d)
+	}
+
+	// Row-parallel: split X's columns and W's rows, sum partials.
+	x1, x2 := ColSlice(x, 0, 3), ColSlice(x, 3, 8)
+	wr1 := RowSlice(w, 0, 3)
+	wr2 := RowSlice(w, 3, 8)
+	row := Add(MatMul(x1, wr1), MatMul(x2, wr2))
+	if d := MaxAbsDiff(full, row); d > 1e-12 {
+		t.Errorf("row-parallel diff %g", d)
+	}
+}
+
+func TestAddBiasAndColSum(t *testing.T) {
+	m := &Mat{Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}}
+	b := &Mat{Rows: 1, Cols: 2, Data: []float64{10, 20}}
+	got := AddBias(m, b)
+	want := []float64{11, 22, 13, 24}
+	for i := range want {
+		if got.Data[i] != want[i] {
+			t.Fatalf("AddBias = %v", got.Data)
+		}
+	}
+	sum := New(1, 2)
+	ColSumTo(sum, m)
+	if sum.Data[0] != 4 || sum.Data[1] != 6 {
+		t.Fatalf("ColSumTo = %v", sum.Data)
+	}
+}
+
+func TestReLUAndBackward(t *testing.T) {
+	x := &Mat{Rows: 1, Cols: 4, Data: []float64{-1, 0, 2, -3}}
+	y := ReLU(x)
+	if y.Data[0] != 0 || y.Data[2] != 2 {
+		t.Fatalf("ReLU = %v", y.Data)
+	}
+	dy := &Mat{Rows: 1, Cols: 4, Data: []float64{1, 1, 1, 1}}
+	dx := ReLUBackward(dy, x)
+	want := []float64{0, 0, 1, 0}
+	for i := range want {
+		if dx.Data[i] != want[i] {
+			t.Fatalf("ReLUBackward = %v", dx.Data)
+		}
+	}
+}
+
+func TestSlicesAndConcatsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := randMat(rng, 6, 9)
+	rows := ConcatRows(RowSlice(m, 0, 2), RowSlice(m, 2, 6))
+	if MaxAbsDiff(m, rows) != 0 {
+		t.Error("row slice/concat round trip failed")
+	}
+	cols := ConcatCols(ColSlice(m, 0, 4), ColSlice(m, 4, 9))
+	if MaxAbsDiff(m, cols) != 0 {
+		t.Error("col slice/concat round trip failed")
+	}
+}
+
+func TestMSEGradient(t *testing.T) {
+	// Finite-difference check of the MSE gradient.
+	rng := rand.New(rand.NewSource(5))
+	pred := randMat(rng, 3, 4)
+	target := randMat(rng, 3, 4)
+	_, grad := MSE(pred, target)
+	const eps = 1e-6
+	for i := 0; i < len(pred.Data); i += 5 {
+		p := pred.Clone()
+		p.Data[i] += eps
+		lp, _ := MSE(p, target)
+		p.Data[i] -= 2 * eps
+		lm, _ := MSE(p, target)
+		fd := (lp - lm) / (2 * eps)
+		if math.Abs(fd-grad.Data[i]) > 1e-6 {
+			t.Errorf("grad[%d] = %g, finite diff %g", i, grad.Data[i], fd)
+		}
+	}
+}
+
+func TestScaleAndCloneIndependence(t *testing.T) {
+	m := &Mat{Rows: 1, Cols: 2, Data: []float64{1, 2}}
+	c := m.Clone()
+	Scale(c, 3)
+	if m.Data[0] != 1 || c.Data[0] != 3 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestLayerNormNormalizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := randMat(rng, 4, 16)
+	gain := New(1, 16)
+	bias := New(1, 16)
+	for j := 0; j < 16; j++ {
+		gain.Data[j] = 1
+	}
+	y, _ := LayerNorm(x, gain, bias)
+	for i := 0; i < y.Rows; i++ {
+		var mean, varSum float64
+		row := y.Data[i*y.Cols : (i+1)*y.Cols]
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(len(row))
+		for _, v := range row {
+			varSum += (v - mean) * (v - mean)
+		}
+		varSum /= float64(len(row))
+		if math.Abs(mean) > 1e-12 {
+			t.Errorf("row %d mean = %g, want 0", i, mean)
+		}
+		if math.Abs(varSum-1) > 1e-3 {
+			t.Errorf("row %d var = %g, want ≈1", i, varSum)
+		}
+	}
+}
+
+func TestLayerNormBackwardFiniteDiff(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	x := randMat(rng, 3, 8)
+	gain := randMat(rng, 1, 8)
+	bias := randMat(rng, 1, 8)
+	target := randMat(rng, 3, 8)
+
+	loss := func(x, gain, bias *Mat) float64 {
+		y, _ := LayerNorm(x, gain, bias)
+		l, _ := MSE(y, target)
+		return l
+	}
+	y, cache := LayerNorm(x, gain, bias)
+	_, dy := MSE(y, target)
+	dgain := New(1, 8)
+	dbias := New(1, 8)
+	dx := LayerNormBackward(dy, cache, gain, dgain, dbias)
+
+	const eps = 1e-6
+	check := func(name string, m, grad *Mat, idxs []int) {
+		for _, i := range idxs {
+			orig := m.Data[i]
+			m.Data[i] = orig + eps
+			lp := loss(x, gain, bias)
+			m.Data[i] = orig - eps
+			lm := loss(x, gain, bias)
+			m.Data[i] = orig
+			fd := (lp - lm) / (2 * eps)
+			if math.Abs(fd-grad.Data[i]) > 1e-6 {
+				t.Errorf("%s grad[%d] = %g, finite diff %g", name, i, grad.Data[i], fd)
+			}
+		}
+	}
+	check("x", x, dx, []int{0, 5, 13, 23})
+	check("gain", gain, dgain, []int{0, 3, 7})
+	check("bias", bias, dbias, []int{1, 4})
+}
