@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test ci bench-search
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# ci is the pre-merge gate: vet, the full suite, race-detector runs of
+# the packages that share caches across goroutines (the search workers
+# and the perfmodel stage cache), and a one-iteration smoke of the
+# search-throughput benchmark so hot-path regressions fail loudly.
+ci: build
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/core/... ./internal/perfmodel/...
+	$(GO) test -run xxx -bench BenchmarkSearchThroughput -benchtime 1x .
+
+# bench-search re-measures search throughput and rewrites the
+# "current" block of BENCH_search.json (the recorded baseline is kept).
+bench-search:
+	$(GO) run ./cmd/acesobench search

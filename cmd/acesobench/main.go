@@ -8,24 +8,125 @@
 // Targets: fig1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
 // fig16 tables cases ablations, or "all" (default).
 // fig7/fig8/fig15/fig16/tables share one end-to-end run.
+//
+// The extra target "search" (not part of "all") measures raw search
+// throughput on the fixed-iteration GPT-3 2.6B / 16-GPU setting of
+// BenchmarkSearchThroughput and writes BENCH_search.json (see
+// -benchfile), preserving any previously recorded baseline so the file
+// carries before/after numbers across optimization work.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
+	"aceso/internal/core"
 	"aceso/internal/exps"
+	"aceso/internal/hardware"
+	"aceso/internal/model"
 )
+
+// searchMeasurement is one timed run of the fixed-iteration search.
+type searchMeasurement struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	Explored    int   `json:"explored"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// searchBenchFile is the BENCH_search.json schema. Baseline is written
+// once (first run on a machine) and preserved afterwards; Current is
+// overwritten on every run.
+type searchBenchFile struct {
+	Benchmark string             `json:"benchmark"`
+	Setting   string             `json:"setting"`
+	Baseline  *searchMeasurement `json:"baseline,omitempty"`
+	Current   searchMeasurement  `json:"current"`
+	Speedup   float64            `json:"speedup,omitempty"`
+}
+
+// runSearchBench mirrors BenchmarkSearchThroughput: an
+// iteration-bounded (never deadline-bounded) search of GPT-3 2.6B on
+// 16 V100s, so ns/op tracks the machinery's cost per fixed amount of
+// exploration.
+func runSearchBench(reps int) (searchMeasurement, error) {
+	var m searchMeasurement
+	if reps < 1 {
+		reps = 1
+	}
+	g, err := model.GPT3("2.6B")
+	if err != nil {
+		return m, err
+	}
+	cl := hardware.DGX1V100(2) // 16 V100s
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		res, err := core.Search(g, cl, core.Options{
+			TimeBudget:    time.Hour,
+			MaxIterations: 4,
+			Seed:          1,
+		})
+		if err != nil {
+			return m, err
+		}
+		m.Explored = res.Explored
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	m.NsPerOp = elapsed.Nanoseconds() / int64(reps)
+	m.BytesPerOp = int64(after.TotalAlloc-before.TotalAlloc) / int64(reps)
+	m.AllocsPerOp = int64(after.Mallocs-before.Mallocs) / int64(reps)
+	return m, nil
+}
+
+// emitSearchBench writes BENCH_search.json, keeping an existing
+// baseline (and its explored count as the reference) if the file is
+// already present.
+func emitSearchBench(path string, cur searchMeasurement) (searchBenchFile, error) {
+	out := searchBenchFile{
+		Benchmark: "BenchmarkSearchThroughput",
+		Setting:   "GPT-3 2.6B on 16xV100 (DGX1V100(2)), MaxIterations=4, Seed=1, fixed-iteration",
+		Current:   cur,
+	}
+	if raw, err := os.ReadFile(path); err == nil {
+		var prev searchBenchFile
+		if err := json.Unmarshal(raw, &prev); err == nil && prev.Baseline != nil {
+			out.Baseline = prev.Baseline
+		}
+	}
+	if out.Baseline == nil {
+		b := cur
+		out.Baseline = &b
+	}
+	if cur.NsPerOp > 0 {
+		out.Speedup = float64(out.Baseline.NsPerOp) / float64(cur.NsPerOp)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return out, err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return out, enc.Encode(out)
+}
 
 func main() {
 	budget := flag.Duration("budget", 2*time.Second, "per-search time budget (the paper used 200s)")
 	sizes := flag.Int("sizes", 5, "how many of the 5 model sizes to run (1-5)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
+	benchFile := flag.String("benchfile", "BENCH_search.json", "output path for the search throughput benchmark")
+	benchReps := flag.Int("benchreps", 3, "repetitions of the search throughput benchmark")
 	flag.Parse()
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -177,6 +278,23 @@ func main() {
 			fail("ablations", err)
 		}
 		exps.RenderAblations(w, rows, memRatio)
+		fmt.Fprintln(w)
+	}
+
+	if want["search"] { // deliberately not part of "all"
+		fmt.Fprintf(w, "measuring search throughput (%d reps, fixed-iteration GPT-3 2.6B / 16 GPUs)...\n", *benchReps)
+		cur, err := runSearchBench(*benchReps)
+		if err != nil {
+			fail("search", err)
+		}
+		rec, err := emitSearchBench(*benchFile, cur)
+		if err != nil {
+			fail("search", err)
+		}
+		fmt.Fprintf(w, "search throughput: %d ns/op, %d explored, %d B/op, %d allocs/op\n",
+			cur.NsPerOp, cur.Explored, cur.BytesPerOp, cur.AllocsPerOp)
+		fmt.Fprintf(w, "baseline: %d ns/op (speedup %.2fx) — recorded in %s\n",
+			rec.Baseline.NsPerOp, rec.Speedup, *benchFile)
 		fmt.Fprintln(w)
 	}
 

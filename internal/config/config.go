@@ -7,6 +7,8 @@ package config
 import (
 	"fmt"
 	"hash/fnv"
+	"io"
+	"strconv"
 	"strings"
 
 	"aceso/internal/model"
@@ -40,17 +42,88 @@ type OpSetting struct {
 
 // Stage is one pipeline stage: the contiguous operator range
 // [Start, End) executed on Devices GPUs.
+//
+// Stages memoize their canonical segment and semantic sub-hash (the
+// search hot path hashes every candidate several times). The caches
+// are invalidated by the Config mutation helpers (MutStage, MutOp,
+// SetMicroBatch, InvalidateStage, Invalidate); code that writes the
+// exported fields directly after a Hash/SubHash call must invalidate
+// by hand or the caches go stale (DESIGN.md §5b).
 type Stage struct {
 	Start, End int
 	Devices    int
 	Ops        []OpSetting // len == End-Start, indexed by op - Start
+
+	// canon memoizes the stage's canonical segment ("" = not yet
+	// computed; a valid segment is never empty). sub is its FNV-1a
+	// sub-hash — the perfmodel stage-cache key component.
+	canon string
+	sub   uint64
 }
 
 // NumOps returns the number of operators in the stage.
 func (s *Stage) NumOps() int { return s.End - s.Start }
 
 // Setting returns the OpSetting for global operator index op.
+// Mutating through the returned pointer bypasses hash invalidation;
+// use Config.MutOp (or invalidate explicitly) on hashed configs.
 func (s *Stage) Setting(op int) *OpSetting { return &s.Ops[op-s.Start] }
+
+// invalidate drops the stage's memoized segment and sub-hash.
+func (s *Stage) invalidate() { s.canon, s.sub = "", 0 }
+
+// segment returns the stage's canonical segment, computing and
+// memoizing it (and the sub-hash) on first use. The byte format is
+// identical to what Config.canonical historically produced.
+func (s *Stage) segment() string {
+	if s.canon == "" {
+		b := make([]byte, 0, 16+12*len(s.Ops))
+		b = append(b, "s["...)
+		b = strconv.AppendInt(b, int64(s.Start), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(s.End), 10)
+		b = append(b, ")x"...)
+		b = strconv.AppendInt(b, int64(s.Devices), 10)
+		b = append(b, ':')
+		for j := range s.Ops {
+			op := &s.Ops[j]
+			b = strconv.AppendInt(b, int64(op.TP), 10)
+			b = append(b, '.')
+			b = strconv.AppendInt(b, int64(op.DP), 10)
+			b = append(b, '.')
+			b = strconv.AppendInt(b, int64(op.Dim), 10)
+			b = append(b, '.')
+			b = appendBit(b, op.Recompute)
+			b = append(b, '.')
+			b = appendBit(b, op.ZeRO)
+			b = append(b, '.')
+			b = appendBit(b, op.SeqPar)
+			b = append(b, ',')
+		}
+		b = append(b, ';')
+		s.canon = string(b)
+		h := fnv.New64a()
+		h.Write(b)
+		s.sub = h.Sum64()
+	}
+	return s.canon
+}
+
+// SubHash returns the stage's semantic sub-hash: two stages have equal
+// sub-hashes iff their canonical segments (op range, device count and
+// every op setting) are byte-identical. Memoized; see Stage.
+func (s *Stage) SubHash() uint64 {
+	s.segment()
+	return s.sub
+}
+
+// appendBit appends '1' for true, '0' for false.
+func appendBit(b []byte, v bool) []byte {
+	if v {
+		return append(b, '1')
+	}
+	return append(b, '0')
+}
 
 // Config is a complete parallel configuration for one model on one
 // cluster: an ordered pipeline partition plus the aggregate microbatch
@@ -63,6 +136,11 @@ type Config struct {
 	// MicroBatch / DP), preserving semantics when DP changes
 	// (Figure 5(c)).
 	MicroBatch int
+
+	// hash memoizes Hash(); hashOK marks it valid. Invalidated by the
+	// mutation helpers below.
+	hash   uint64
+	hashOK bool
 }
 
 // NumStages returns the pipeline depth.
@@ -173,11 +251,15 @@ func (c *Config) Validate(g *model.Graph, totalDevices int) error {
 	return nil
 }
 
-// Clone returns a deep copy of the configuration.
+// Clone returns a deep copy of the configuration. Memoized hashes are
+// carried over (they describe identical content), so a neighbor built
+// by Clone plus a mutation helper re-hashes only the mutated stage.
 func (c *Config) Clone() *Config {
 	out := &Config{
 		Stages:     make([]Stage, len(c.Stages)),
 		MicroBatch: c.MicroBatch,
+		hash:       c.hash,
+		hashOK:     c.hashOK,
 	}
 	for i := range c.Stages {
 		s := c.Stages[i]
@@ -189,42 +271,82 @@ func (c *Config) Clone() *Config {
 	return out
 }
 
+// ---------- mutation helpers (the cache-invalidation contract) ----------
+//
+// The search hot path memoizes Hash(), per-stage sub-hashes, and (in
+// perfmodel) per-stage metrics keyed by those sub-hashes. All of that
+// is only sound if every post-construction mutation goes through the
+// helpers below, which invalidate exactly the touched caches. Building
+// a Config from literals and mutating it before the first Hash call
+// needs no helpers — the caches are filled lazily.
+
+// SetMicroBatch sets the aggregate microbatch size. Stage sub-hashes
+// are unaffected (the microbatch is keyed separately everywhere).
+func (c *Config) SetMicroBatch(mbs int) {
+	c.MicroBatch = mbs
+	c.hashOK = false
+}
+
+// MutStage applies fn to stage i and invalidates its memoized hashes.
+func (c *Config) MutStage(i int, fn func(*Stage)) {
+	fn(&c.Stages[i])
+	c.InvalidateStage(i)
+}
+
+// MutOp applies fn to the setting of global operator index op inside
+// stage i and invalidates the stage's memoized hashes.
+func (c *Config) MutOp(i, op int, fn func(*OpSetting)) {
+	fn(c.Stages[i].Setting(op))
+	c.InvalidateStage(i)
+}
+
+// InvalidateStage drops stage i's memoized hashes (and the config
+// hash) after a direct mutation that bypassed MutStage/MutOp.
+func (c *Config) InvalidateStage(i int) {
+	c.Stages[i].invalidate()
+	c.hashOK = false
+}
+
+// Invalidate drops every memoized hash. The escape hatch for code that
+// hand-mutates exported fields of an already-hashed configuration.
+func (c *Config) Invalidate() {
+	for i := range c.Stages {
+		c.Stages[i].invalidate()
+	}
+	c.hashOK = false
+}
+
 // canonical writes the semantic content of the configuration in a
 // canonical form. Two configurations are semantically identical iff
 // their canonical forms are byte-identical.
 func (c *Config) canonical(sb *strings.Builder) {
-	fmt.Fprintf(sb, "mb=%d;", c.MicroBatch)
+	sb.WriteString("mb=")
+	sb.WriteString(strconv.Itoa(c.MicroBatch))
+	sb.WriteByte(';')
 	for i := range c.Stages {
-		s := &c.Stages[i]
-		fmt.Fprintf(sb, "s[%d,%d)x%d:", s.Start, s.End, s.Devices)
-		for j := range s.Ops {
-			op := &s.Ops[j]
-			r := 0
-			if op.Recompute {
-				r = 1
-			}
-			z := 0
-			if op.ZeRO {
-				z = 1
-			}
-			sp := 0
-			if op.SeqPar {
-				sp = 1
-			}
-			fmt.Fprintf(sb, "%d.%d.%d.%d.%d.%d,", op.TP, op.DP, op.Dim, r, z, sp)
-		}
-		sb.WriteByte(';')
+		sb.WriteString(c.Stages[i].segment())
 	}
 }
 
 // Hash returns the configuration-semantic hash used for search
-// deduplication (§4.3).
+// deduplication (§4.3): FNV-1a over the canonical form. Memoized; on
+// a Clone-plus-mutation neighbor only mutated stages are re-hashed.
 func (c *Config) Hash() uint64 {
-	var sb strings.Builder
-	c.canonical(&sb)
+	if c.hashOK {
+		return c.hash
+	}
 	h := fnv.New64a()
-	h.Write([]byte(sb.String()))
-	return h.Sum64()
+	var buf [16]byte
+	b := append(buf[:0], "mb="...)
+	b = strconv.AppendInt(b, int64(c.MicroBatch), 10)
+	b = append(b, ';')
+	h.Write(b)
+	for i := range c.Stages {
+		io.WriteString(h, c.Stages[i].segment())
+	}
+	c.hash = h.Sum64()
+	c.hashOK = true
+	return c.hash
 }
 
 // Canonical returns the canonical string form (exposed for tests of

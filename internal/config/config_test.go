@@ -226,19 +226,90 @@ func TestHashDistinguishesAndMatches(t *testing.T) {
 	if a.Canonical() != b.Canonical() {
 		t.Error("clone canonical differs")
 	}
-	b.Stages[0].Ops[3].Recompute = true
+	b.MutOp(0, 3, func(op *OpSetting) { op.Recompute = true })
 	if a.Hash() == b.Hash() {
 		t.Error("recompute flag not reflected in hash")
 	}
 	c := a.Clone()
-	c.MicroBatch = 8
+	c.SetMicroBatch(8)
 	if a.Hash() == c.Hash() {
 		t.Error("microbatch not reflected in hash")
 	}
 	d := a.Clone()
-	d.Stages[0].Ops[0].Dim = 1
+	d.MutOp(0, 0, func(op *OpSetting) { op.Dim = 1 })
 	if a.Hash() == d.Hash() {
 		t.Error("dim not reflected in hash")
+	}
+}
+
+// The memoized hash must always equal a from-scratch rebuild — the
+// invalidation contract of the mutation helpers (DESIGN.md §5b).
+func rebuiltHash(c *Config) uint64 {
+	fresh := &Config{MicroBatch: c.MicroBatch, Stages: make([]Stage, len(c.Stages))}
+	for i := range c.Stages {
+		s := c.Stages[i]
+		fresh.Stages[i] = Stage{Start: s.Start, End: s.End, Devices: s.Devices,
+			Ops: append([]OpSetting(nil), s.Ops...)}
+	}
+	return fresh.Hash()
+}
+
+func TestMutationHelpersInvalidate(t *testing.T) {
+	g := model.Uniform(16, 1e9, 1e6, 1e5, 64)
+	c := mustBalanced(t, g, 8, 2, 4)
+	check := func(what string) {
+		t.Helper()
+		if got, want := c.Hash(), rebuiltHash(c); got != want {
+			t.Errorf("%s: memoized hash %x != rebuilt hash %x", what, got, want)
+		}
+		if got, want := c.Stages[0].SubHash(), rebuiltSubHash(&c.Stages[0]); got != want {
+			t.Errorf("%s: memoized sub-hash %x != rebuilt %x", what, got, want)
+		}
+	}
+	check("fresh")
+	c.MutOp(0, 1, func(op *OpSetting) { op.Recompute = true })
+	check("MutOp")
+	c.MutStage(1, func(s *Stage) {
+		for j := range s.Ops {
+			s.Ops[j].Recompute = true
+		}
+	})
+	check("MutStage")
+	c.SetMicroBatch(8)
+	check("SetMicroBatch")
+
+	// Direct mutation after hashing goes stale until Invalidate.
+	c.Hash()
+	c.Stages[0].Ops[0].Dim = 1
+	c.Invalidate()
+	check("Invalidate after direct mutation")
+
+	c.Hash()
+	c.Stages[1].Ops[0].Dim = 1
+	c.InvalidateStage(1)
+	check("InvalidateStage after direct mutation")
+}
+
+func rebuiltSubHash(s *Stage) uint64 {
+	fresh := Stage{Start: s.Start, End: s.End, Devices: s.Devices,
+		Ops: append([]OpSetting(nil), s.Ops...)}
+	return fresh.SubHash()
+}
+
+// SetMicroBatch must not disturb stage sub-hashes: the perfmodel stage
+// cache keys the microbatch separately.
+func TestSubHashIgnoresMicroBatch(t *testing.T) {
+	g := model.Uniform(16, 1e9, 1e6, 1e5, 64)
+	c := mustBalanced(t, g, 8, 2, 4)
+	before := c.Stages[0].SubHash()
+	c.SetMicroBatch(8)
+	if c.Stages[0].SubHash() != before {
+		t.Error("SetMicroBatch changed a stage sub-hash")
+	}
+	// But a stage mutation must change it.
+	c.MutOp(0, 0, func(op *OpSetting) { op.Recompute = true })
+	if c.Stages[0].SubHash() == before {
+		t.Error("stage mutation did not change the sub-hash")
 	}
 }
 
@@ -253,11 +324,11 @@ func TestHashCanonicalEquivalence(t *testing.T) {
 		j := int(seed/7) % len(c.Stages[s].Ops)
 		switch seed % 3 {
 		case 0:
-			c.Stages[s].Ops[j].Recompute = !c.Stages[s].Ops[j].Recompute
+			c.MutStage(s, func(st *Stage) { st.Ops[j].Recompute = !st.Ops[j].Recompute })
 		case 1:
-			c.Stages[s].Ops[j].Dim ^= 1
+			c.MutStage(s, func(st *Stage) { st.Ops[j].Dim ^= 1 })
 		case 2:
-			c.MicroBatch = 1 << (seed % 5)
+			c.SetMicroBatch(1 << (seed % 5))
 		}
 		return c
 	}

@@ -65,12 +65,13 @@ func toggleSeqPar(cfg *config.Config, stage int, on bool) []*config.Config {
 		return nil
 	}
 	c := cfg.Clone()
-	for j := range c.Stages[stage].Ops {
-		op := &c.Stages[stage].Ops[j]
-		if op.TP > 1 {
-			op.SeqPar = on
+	c.MutStage(stage, func(st *config.Stage) {
+		for j := range st.Ops {
+			if st.Ops[j].TP > 1 {
+				st.Ops[j].SeqPar = on
+			}
 		}
-	}
+	})
 	return []*config.Config{c}
 }
 
@@ -92,11 +93,12 @@ func toggleZeRO(cfg *config.Config, stage int, on bool) []*config.Config {
 		return nil
 	}
 	c := cfg.Clone()
-	for j := range c.Stages[stage].Ops {
-		op := &c.Stages[stage].Ops[j]
-		if op.DP > 1 {
-			op.ZeRO = on
+	c.MutStage(stage, func(st *config.Stage) {
+		for j := range st.Ops {
+			if st.Ops[j].DP > 1 {
+				st.Ops[j].ZeRO = on
+			}
 		}
-	}
+	})
 	return []*config.Config{c}
 }

@@ -87,7 +87,7 @@ func (s *searcher) fineTune(cfg *config.Config) *config.Config {
 					continue
 				}
 				c := best.Clone()
-				c.Stages[bn.Stage].Setting(j).Dim = d
+				c.MutOp(bn.Stage, j, func(op *config.OpSetting) { op.Dim = d })
 				consider(c)
 			}
 		}
@@ -120,22 +120,23 @@ func retileRange(cfg *config.Config, stage, from int, toDP bool) *config.Config 
 		return nil
 	}
 	c := cfg.Clone()
-	nst := &c.Stages[stage]
-	for j := from; j < nst.NumOps(); j++ {
-		op := &nst.Ops[j]
-		if toDP {
-			op.TP /= 2
-			op.DP *= 2
-			if op.TP < 2 {
-				op.SeqPar = false
-			}
-		} else {
-			op.DP /= 2
-			op.TP *= 2
-			if op.DP < 2 {
-				op.ZeRO = false
+	c.MutStage(stage, func(nst *config.Stage) {
+		for j := from; j < nst.NumOps(); j++ {
+			op := &nst.Ops[j]
+			if toDP {
+				op.TP /= 2
+				op.DP *= 2
+				if op.TP < 2 {
+					op.SeqPar = false
+				}
+			} else {
+				op.DP /= 2
+				op.TP *= 2
+				if op.DP < 2 {
+					op.ZeRO = false
+				}
 			}
 		}
-	}
+	})
 	return c
 }

@@ -251,6 +251,8 @@ func moveOps(g *model.Graph, cfg *config.Config, from, dir, k int) *config.Confi
 	}
 	// Recompute flags do not transfer across stages: the template's
 	// recompute choice applies (the rc-attachment pass re-optimizes).
+	out.InvalidateStage(from)
+	out.InvalidateStage(to)
 	return out
 }
 
@@ -332,7 +334,7 @@ func applyIncMBS(s *searcher, cfg *config.Config, _ int) []*config.Config {
 		return nil
 	}
 	c := cfg.Clone()
-	c.MicroBatch = mbs
+	c.SetMicroBatch(mbs)
 	return []*config.Config{c}
 }
 
@@ -350,7 +352,7 @@ func applyDecMBS(s *searcher, cfg *config.Config, _ int) []*config.Config {
 		}
 	}
 	c := cfg.Clone()
-	c.MicroBatch = mbs
+	c.SetMicroBatch(mbs)
 	return []*config.Config{c}
 }
 
@@ -369,10 +371,18 @@ func applyGrow(s *searcher, cfg *config.Config, stage int, useDP bool) []*config
 	for _, partner := range partnersBySlack(est, cfg, stage, need) {
 		for _, partnerDP := range []bool{true, false} { // dec-dp or dec-tp partner primitive
 			c := cfg.Clone()
-			if !doubleStageDevices(&c.Stages[stage], useDP, c.MicroBatch) {
+			grew := false
+			c.MutStage(stage, func(st *config.Stage) {
+				grew = doubleStageDevices(st, useDP, c.MicroBatch)
+			})
+			if !grew {
 				return out
 			}
-			if !halveStageDevices(&c.Stages[partner], partnerDP) {
+			halved := false
+			c.MutStage(partner, func(st *config.Stage) {
+				halved = halveStageDevices(st, partnerDP)
+			})
+			if !halved {
 				continue
 			}
 			out = append(out, c)
@@ -402,10 +412,18 @@ func applyShrink(s *searcher, cfg *config.Config, stage int, useDP bool) []*conf
 	for _, partner := range partners {
 		for _, partnerDP := range []bool{true, false} { // inc-dp or inc-tp partner primitive
 			c := cfg.Clone()
-			if !halveStageDevices(&c.Stages[stage], useDP) {
+			halved := false
+			c.MutStage(stage, func(st *config.Stage) {
+				halved = halveStageDevices(st, useDP)
+			})
+			if !halved {
 				return out
 			}
-			if !doubleStageDevices(&c.Stages[partner], partnerDP, c.MicroBatch) {
+			doubled := false
+			c.MutStage(partner, func(st *config.Stage) {
+				doubled = doubleStageDevices(st, partnerDP, c.MicroBatch)
+			})
+			if !doubled {
 				continue
 			}
 			out = append(out, c)
@@ -481,22 +499,24 @@ func retile(cfg *config.Config, stage int, toDP bool) *config.Config {
 		}
 	}
 	c := cfg.Clone()
-	for j := range c.Stages[stage].Ops {
-		op := &c.Stages[stage].Ops[j]
-		if toDP {
-			op.TP /= 2
-			op.DP *= 2
-			if op.TP < 2 {
-				op.SeqPar = false
-			}
-		} else {
-			op.DP /= 2
-			op.TP *= 2
-			if op.DP < 2 {
-				op.ZeRO = false
+	c.MutStage(stage, func(nst *config.Stage) {
+		for j := range nst.Ops {
+			op := &nst.Ops[j]
+			if toDP {
+				op.TP /= 2
+				op.DP *= 2
+				if op.TP < 2 {
+					op.SeqPar = false
+				}
+			} else {
+				op.DP /= 2
+				op.TP *= 2
+				if op.DP < 2 {
+					op.ZeRO = false
+				}
 			}
 		}
-	}
+	})
 	return c
 }
 
@@ -530,9 +550,11 @@ func applyIncRC(s *searcher, cfg *config.Config, stage int) []*config.Config {
 
 	mark := func(k int) *config.Config {
 		c := cfg.Clone()
-		for i := 0; i < k && i < len(cands); i++ {
-			c.Stages[stage].Setting(cands[i].op).Recompute = true
-		}
+		c.MutStage(stage, func(st *config.Stage) {
+			for i := 0; i < k && i < len(cands); i++ {
+				st.Setting(cands[i].op).Recompute = true
+			}
+		})
 		return c
 	}
 	var out []*config.Config
@@ -570,9 +592,11 @@ func applyDecRC(s *searcher, cfg *config.Config, stage int) []*config.Config {
 	sortCands(cands, func(a, b cand) bool { return a.bytes < b.bytes })
 	clear := func(k int) *config.Config {
 		c := cfg.Clone()
-		for i := 0; i < k && i < len(cands); i++ {
-			c.Stages[stage].Setting(cands[i].op).Recompute = false
-		}
+		c.MutStage(stage, func(st *config.Stage) {
+			for i := 0; i < k && i < len(cands); i++ {
+				st.Setting(cands[i].op).Recompute = false
+			}
+		})
 		return c
 	}
 	var out []*config.Config

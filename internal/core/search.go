@@ -98,6 +98,18 @@ type Candidate struct {
 	Config   *config.Config
 	Estimate *perfmodel.Estimate
 	Score    float64
+
+	// hash is Config.Hash(), captured at construction so comparators
+	// and dedup loops never re-hash inside sorts.
+	hash uint64
+}
+
+// less is the canonical candidate order: score, then hash tie-break.
+func (c *Candidate) less(o *Candidate) bool {
+	if c.Score != o.Score {
+		return c.Score < o.Score
+	}
+	return c.hash < o.hash
 }
 
 // Result is the outcome of a search.
@@ -112,16 +124,16 @@ type Result struct {
 
 // defaultStageCounts picks the pipeline depths searched in parallel.
 func defaultStageCounts(devices, ops int) []int {
-	max := devices
-	if ops < max {
-		max = ops
+	limit := devices // don't shadow the max builtin
+	if ops < limit {
+		limit = ops
 	}
 	var out []int
-	for p := 1; p <= max && p <= 8; p++ {
+	for p := 1; p <= limit && p <= 8; p++ {
 		out = append(out, p)
 	}
 	for _, p := range []int{12, 16, 24, 32} {
-		if p <= max {
+		if p <= limit {
 			out = append(out, p)
 		}
 	}
@@ -211,18 +223,14 @@ func Search(g *model.Graph, cl hardware.Cluster, opts Options) (*Result, error) 
 		return nil, fmt.Errorf("core: no pipeline depth is searchable: %w", firstErr)
 	}
 	sort.SliceStable(all, func(a, b int) bool {
-		if all[a].Score != all[b].Score {
-			return all[a].Score < all[b].Score
-		}
-		return all[a].Config.Hash() < all[b].Config.Hash()
+		return all[a].less(&all[b])
 	})
 	seen := make(map[uint64]bool)
 	for _, c := range all {
-		h := c.Config.Hash()
-		if seen[h] {
+		if seen[c.hash] {
 			continue
 		}
-		seen[h] = true
+		seen[c.hash] = true
 		res.TopK = append(res.TopK, c)
 		if len(res.TopK) == opts.TopK {
 			break
@@ -289,7 +297,8 @@ func (s *searcher) run(init *config.Config) ([]Candidate, int) {
 		if e.Feasible {
 			s.trace.observe(sc)
 		}
-		topK = insertTopK(topK, Candidate{Config: cfg, Estimate: e, Score: sc}, s.opts.TopK)
+		cand := Candidate{Config: cfg, Estimate: e, Score: sc, hash: cfg.Hash()}
+		topK = insertTopK(topK, cand, s.opts.TopK)
 	}
 	record(cur)
 
@@ -392,7 +401,7 @@ func (s *searcher) multiHop(cfg *config.Config, bn Bottleneck, hop int, initScor
 				if sc < initScore {
 					return c, hop + 1
 				}
-				cand := Candidate{Config: c, Estimate: e, Score: sc}
+				cand := Candidate{Config: c, Estimate: e, Score: sc, hash: h}
 				s.pool[h] = &cand
 				if len(s.pool) > 2*poolCap {
 					s.prunePool()
@@ -410,10 +419,7 @@ func (s *searcher) multiHop(cfg *config.Config, bn Bottleneck, hop int, initScor
 			})
 		} else {
 			sort.SliceStable(cands, func(a, b int) bool {
-				if cands[a].Score != cands[b].Score {
-					return cands[a].Score < cands[b].Score
-				}
-				return cands[a].Config.Hash() < cands[b].Config.Hash()
+				return cands[a].less(&cands[b])
 			})
 		}
 		limit := s.opts.BranchFactor
@@ -512,21 +518,25 @@ func (s *searcher) popBestUnexplored() *config.Config {
 }
 
 // insertTopK keeps a ranked, hash-deduplicated list of the k best
-// candidates.
+// candidates. The list is always sorted (score, then hash), so the
+// new candidate is spliced in at its position rather than re-sorting
+// the whole slice per insertion.
 func insertTopK(list []Candidate, c Candidate, k int) []Candidate {
-	h := c.Config.Hash()
-	for _, x := range list {
-		if x.Config.Hash() == h {
+	pos := len(list)
+	for i := range list {
+		if list[i].hash == c.hash {
 			return list
 		}
-	}
-	list = append(list, c)
-	sort.SliceStable(list, func(a, b int) bool {
-		if list[a].Score != list[b].Score {
-			return list[a].Score < list[b].Score
+		if pos == len(list) && c.less(&list[i]) {
+			pos = i
 		}
-		return list[a].Config.Hash() < list[b].Config.Hash()
-	})
+	}
+	if pos >= k {
+		return list // ranks below the kept k
+	}
+	list = append(list, Candidate{})
+	copy(list[pos+1:], list[pos:])
+	list[pos] = c
 	if len(list) > k {
 		list = list[:k]
 	}

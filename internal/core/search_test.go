@@ -152,6 +152,48 @@ func TestSearchRespectsMaxIterations(t *testing.T) {
 	}
 }
 
+func TestSearchDeterministicAcrossCachingLayers(t *testing.T) {
+	// The caching layers (config hash memos, perfmodel stage cache) are
+	// pure accelerations: a seeded, iteration-bounded search must return
+	// the exact same result with them disabled.
+	g, _ := model.GPT3("350M")
+	cl := hardware.DGX1V100(1)
+	run := func(disable bool) *Result {
+		pm := perfmodel.New(g, cl, 3)
+		pm.DisableStageCache = disable
+		opts := Options{
+			TimeBudget:    time.Hour, // iterations are the binding limit
+			MaxIterations: 3,
+			StageCounts:   []int{1, 2, 4},
+			Seed:          3,
+			Model:         pm,
+		}
+		res, err := Search(g, cl, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cached, full := run(false), run(true)
+	if got, want := cached.Best.Config.Canonical(), full.Best.Config.Canonical(); got != want {
+		t.Errorf("Best.Config differs with stage cache:\ncached: %s\nfull:   %s", got, want)
+	}
+	if cached.Best.Score != full.Best.Score {
+		t.Errorf("Best.Score differs: %v vs %v", cached.Best.Score, full.Best.Score)
+	}
+	if cached.Explored != full.Explored {
+		t.Errorf("Explored differs: %d vs %d", cached.Explored, full.Explored)
+	}
+	if len(cached.TopK) != len(full.TopK) {
+		t.Fatalf("TopK length differs: %d vs %d", len(cached.TopK), len(full.TopK))
+	}
+	for i := range cached.TopK {
+		if cached.TopK[i].Config.Hash() != full.TopK[i].Config.Hash() {
+			t.Errorf("TopK[%d] differs with stage cache", i)
+		}
+	}
+}
+
 func TestSearchTraceCollection(t *testing.T) {
 	g, _ := model.GPT3("350M")
 	cl := hardware.DGX1V100(1).Restrict(4)
@@ -277,7 +319,7 @@ func TestInsertTopK(t *testing.T) {
 	g := model.Uniform(8, 1e9, 1e6, 1e5, 64)
 	mk := func(mbs int, score float64) Candidate {
 		c, _ := config.Balanced(g, 4, 2, mbs)
-		return Candidate{Config: c, Score: score}
+		return Candidate{Config: c, Score: score, hash: c.Hash()}
 	}
 	var list []Candidate
 	list = insertTopK(list, mk(1, 3), 2)

@@ -36,7 +36,9 @@ func (m *Model) EvalStage(start, end, devices, tp, dp int, recompute bool,
 	for j := range st.Ops {
 		st.Ops[j] = config.OpSetting{TP: tp, DP: dp, Recompute: recompute}
 	}
-	return m.evalStage(&st, microBatch, firstDev, inflight, prevDevices), nil
+	// Route through the shared stage memo: the DP baselines enumerate
+	// the same (range, tp, dp) stages under many pipeline contexts.
+	return m.stageMetrics(&st, microBatch, firstDev, inflight, prevDevices), nil
 }
 
 // ComposePipeline turns per-stage metrics into an Estimate for a

@@ -23,6 +23,8 @@
 package perfmodel
 
 import (
+	"sync"
+
 	"aceso/internal/collective"
 	"aceso/internal/config"
 	"aceso/internal/hardware"
@@ -101,16 +103,82 @@ func (e *Estimate) Throughput(globalBatch int) float64 {
 	return float64(globalBatch) / e.IterTime
 }
 
-// Model evaluates configurations for one (graph, cluster) pair.
+// stageKey identifies one memoized stage evaluation: the stage's
+// semantic sub-hash plus every evalStage input that is not part of the
+// stage itself. Two evaluations with equal keys are identical — the
+// profiler is deterministic — so the cache never changes results, only
+// skips recomputation.
+type stageKey struct {
+	sub         uint64
+	microBatch  int
+	firstDev    int
+	inflight    int
+	prevDevices int
+}
+
+// stageCacheCap bounds the stage-metrics memo. Entries are ~150 bytes;
+// the cap keeps a long search under ~40 MB of cache. Values are pure
+// functions of the key, so the occasional wholesale reset on overflow
+// is invisible to results.
+const stageCacheCap = 1 << 18
+
+// Model evaluates configurations for one (graph, cluster) pair. It is
+// safe for concurrent use: the per-stage metrics memo below is shared
+// by core.Search's per-pipeline-depth worker goroutines, so identical
+// stages reached by different workers are evaluated once.
 type Model struct {
 	Graph   *model.Graph
 	Cluster hardware.Cluster
 	Prof    *profiler.Profiler
+
+	// DisableStageCache forces every Estimate to recompute all stages
+	// from scratch — the reference path for equivalence tests.
+	DisableStageCache bool
+
+	scmu   sync.RWMutex
+	scache map[stageKey]StageMetrics
 }
 
 // New builds a performance model backed by a profiler database.
 func New(g *model.Graph, c hardware.Cluster, seed int64) *Model {
-	return &Model{Graph: g, Cluster: c, Prof: profiler.New(c, seed)}
+	return &Model{
+		Graph:   g,
+		Cluster: c,
+		Prof:    profiler.New(c, seed),
+		scache:  make(map[stageKey]StageMetrics),
+	}
+}
+
+// StageCacheEntries returns the number of memoized stage evaluations.
+func (m *Model) StageCacheEntries() int {
+	m.scmu.RLock()
+	defer m.scmu.RUnlock()
+	return len(m.scache)
+}
+
+// stageMetrics returns the metrics for st under the given pipeline
+// context, consulting the shared memo keyed by the stage's sub-hash.
+// An Estimate of a Clone-plus-one-mutation neighbor therefore
+// recomputes only the mutated stage; every other stage is a lookup.
+func (m *Model) stageMetrics(st *config.Stage, microBatch, firstDev, inflight, prevDevices int) StageMetrics {
+	if m.DisableStageCache {
+		return m.evalStage(st, microBatch, firstDev, inflight, prevDevices)
+	}
+	key := stageKey{st.SubHash(), microBatch, firstDev, inflight, prevDevices}
+	m.scmu.RLock()
+	sm, ok := m.scache[key]
+	m.scmu.RUnlock()
+	if ok {
+		return sm
+	}
+	sm = m.evalStage(st, microBatch, firstDev, inflight, prevDevices)
+	m.scmu.Lock()
+	if m.scache == nil || len(m.scache) >= stageCacheCap {
+		m.scache = make(map[stageKey]StageMetrics)
+	}
+	m.scache[key] = sm
+	m.scmu.Unlock()
+	return sm
 }
 
 // optBytes returns optimizer-state bytes per parameter.
@@ -135,6 +203,7 @@ func (m *Model) Estimate(cfg *config.Config) *Estimate {
 		Microbatches: n,
 	}
 
+	firstDev := 0
 	for si := range cfg.Stages {
 		st := &cfg.Stages[si]
 		// Eq. 1: earlier stages stash more in-flight microbatches.
@@ -146,7 +215,8 @@ func (m *Model) Estimate(cfg *config.Config) *Estimate {
 		if si > 0 {
 			prevDevices = cfg.Stages[si-1].Devices
 		}
-		est.Stages[si] = m.evalStage(st, cfg.MicroBatch, cfg.FirstDev(si), inflight, prevDevices)
+		est.Stages[si] = m.stageMetrics(st, cfg.MicroBatch, firstDev, inflight, prevDevices)
+		firstDev += st.Devices
 		sm := &est.Stages[si]
 		if sm.PeakMem > m.Cluster.MemoryBytes {
 			est.Feasible = false

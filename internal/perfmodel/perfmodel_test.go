@@ -94,9 +94,11 @@ func TestRecomputationTradesMemoryForTime(t *testing.T) {
 	m := newModel(t, g, 4)
 	plain := balanced(t, g, 4, 2, 1)
 	rc := plain.Clone()
-	for j := range rc.Stages[0].Ops {
-		rc.Stages[0].Ops[j].Recompute = true
-	}
+	rc.MutStage(0, func(st *config.Stage) {
+		for j := range st.Ops {
+			st.Ops[j].Recompute = true
+		}
+	})
 	pe, re := m.Estimate(plain), m.Estimate(rc)
 	if re.Stages[0].PeakMem >= pe.Stages[0].PeakMem {
 		t.Errorf("recompute peak %v should be below plain %v",
@@ -120,9 +122,11 @@ func TestTensorParallelismReducesMemory(t *testing.T) {
 	m := newModel(t, g, 8)
 	tp8 := balanced(t, g, 8, 1, 8) // tp=8 dp=1
 	dp8 := tp8.Clone()
-	for j := range dp8.Stages[0].Ops {
-		dp8.Stages[0].Ops[j] = config.OpSetting{TP: 1, DP: 8, Dim: 0}
-	}
+	dp8.MutStage(0, func(st *config.Stage) {
+		for j := range st.Ops {
+			st.Ops[j] = config.OpSetting{TP: 1, DP: 8, Dim: 0}
+		}
+	})
 	te, de := m.Estimate(tp8), m.Estimate(dp8)
 	if te.PeakMem >= de.PeakMem {
 		t.Errorf("tp8 peak (%v) should be below dp8 peak (%v): tp shards params",
@@ -211,9 +215,11 @@ func TestTPCommTrackedForTransformers(t *testing.T) {
 		t.Error("tp=4 transformer should record tensor-parallel comm time")
 	}
 	dp := c.Clone()
-	for j := range dp.Stages[0].Ops {
-		dp.Stages[0].Ops[j] = config.OpSetting{TP: 1, DP: 4, Dim: 0}
-	}
+	dp.MutStage(0, func(st *config.Stage) {
+		for j := range st.Ops {
+			st.Ops[j] = config.OpSetting{TP: 1, DP: 4, Dim: 0}
+		}
+	})
 	de := m.Estimate(dp)
 	if de.Stages[0].TPComm != 0 {
 		t.Errorf("tp=1 stage has TPComm = %v, want 0", de.Stages[0].TPComm)

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -49,10 +50,33 @@ type opKey struct {
 	prec            hardware.Precision
 }
 
-// String renders the key for the serialized database format.
+// appendTo appends the key's serialized form to b. Byte-identical to
+// the historical fmt.Sprintf("op|%s|%d|%d|%d|%d|%v|%v", ...) format —
+// the perturbation hash and the Save/Load format both depend on these
+// exact bytes — without fmt's reflection and allocations on the
+// database-miss path.
+func (k opKey) appendTo(b []byte) []byte {
+	b = append(b, "op|"...)
+	b = append(b, k.name...)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(k.tp), 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(k.dim), 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(k.samples), 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(k.shards), 10)
+	b = append(b, '|')
+	b = strconv.AppendBool(b, k.backward)
+	b = append(b, '|')
+	b = append(b, k.prec.String()...)
+	return b
+}
+
+// String renders the key for the serialized database format (Save);
+// hot-path code uses appendTo with a stack buffer instead.
 func (k opKey) String() string {
-	return fmt.Sprintf("op|%s|%d|%d|%d|%d|%v|%v",
-		k.name, k.tp, k.dim, k.samples, k.shards, k.backward, k.prec)
+	return string(k.appendTo(make([]byte, 0, 64)))
 }
 
 // parseOpKey inverts String; reports ok=false on malformed input.
@@ -121,7 +145,14 @@ func (p *Profiler) collPerturb(kind byte, group int, pl collective.Placement) fl
 	if ok {
 		return m
 	}
-	m = p.perturb(fmt.Sprintf("%c|%d|%d", kind, group, pl))
+	// Byte-identical to fmt.Sprintf("%c|%d|%d", kind, group, pl): kind
+	// is always an ASCII letter, so %c emits the byte itself.
+	var buf [32]byte
+	b := append(buf[:0], kind, '|')
+	b = strconv.AppendInt(b, int64(group), 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(pl), 10)
+	m = p.perturb(b)
 	p.cmu.Lock()
 	p.cmult[key] = m
 	p.cmu.Unlock()
@@ -129,10 +160,15 @@ func (p *Profiler) collPerturb(kind byte, group int, pl collective.Placement) fl
 }
 
 // perturb returns a deterministic multiplier in [1-perturbAmp, 1+perturbAmp]
-// derived from the entry key and the profiler seed.
-func (p *Profiler) perturb(key string) float64 {
+// derived from the entry key and the profiler seed. The hashed byte
+// stream is identical to the historical fmt.Fprintf(h, "%d|%s", ...).
+func (p *Profiler) perturb(key []byte) float64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%d|%s", p.Seed, key)
+	var buf [24]byte
+	b := strconv.AppendInt(buf[:0], p.Seed, 10)
+	b = append(b, '|')
+	h.Write(b)
+	h.Write(key)
 	u := float64(h.Sum64()%(1<<20)) / float64(1<<20) // [0, 1)
 	return 1 - perturbAmp + 2*perturbAmp*u
 }
@@ -174,7 +210,8 @@ func (p *Profiler) OpTime(op *model.Op, tp, dim, samples, shards int, backward b
 	if flops > 0 && util > 0 {
 		t += flops / (peak * util)
 	}
-	t *= p.perturb(key.String())
+	var kb [96]byte
+	t *= p.perturb(key.appendTo(kb[:0]))
 
 	p.mu.Lock()
 	p.db[key] = t

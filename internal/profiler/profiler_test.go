@@ -2,6 +2,7 @@ package profiler
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -13,6 +14,27 @@ import (
 func testOp() *model.Op {
 	g := model.Uniform(1, 1e12, 1e6, 1e5, 64)
 	return &g.Ops[0]
+}
+
+// The database format and the perturbation hash both depend on the
+// exact bytes of the key serialization; a drift in appendTo would
+// silently change every profiled time and orphan saved databases.
+func TestOpKeyAppendMatchesFmt(t *testing.T) {
+	keys := []opKey{
+		{"linear", 4, 1, 8, 4, true, hardware.FP16},
+		{"ln", 1, 0, 1, 1, false, hardware.FP32},
+		{"attn|odd", 32, 2, 1024, 32, true, hardware.FP16},
+	}
+	for _, k := range keys {
+		want := fmt.Sprintf("op|%s|%d|%d|%d|%d|%v|%v",
+			k.name, k.tp, k.dim, k.samples, k.shards, k.backward, k.prec)
+		if got := k.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+		if got := string(k.appendTo(nil)); got != want {
+			t.Errorf("appendTo = %q, want %q", got, want)
+		}
+	}
 }
 
 func TestOpTimeDeterministic(t *testing.T) {
