@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test ci bench-search
+.PHONY: build test ci bench-search chaos fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -10,13 +10,30 @@ test:
 
 # ci is the pre-merge gate: vet, the full suite, race-detector runs of
 # the packages that share caches across goroutines (the search workers
-# and the perfmodel stage cache), and a one-iteration smoke of the
-# search-throughput benchmark so hot-path regressions fail loudly.
+# and the perfmodel stage cache), a fuzz smoke over every corpus-seeded
+# fuzz target, and a one-iteration smoke of the search-throughput
+# benchmark so hot-path regressions fail loudly.
 ci: build
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/core/... ./internal/perfmodel/...
+	$(MAKE) fuzz-smoke
 	$(GO) test -run xxx -bench BenchmarkSearchThroughput -benchtime 1x .
+
+# fuzz-smoke runs each fuzz target for a few seconds. `go test -fuzz`
+# accepts one target per invocation, hence one line per target.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzDeviceSplit -fuzztime=5s ./internal/config
+	$(GO) test -fuzz=FuzzParseOpKey -fuzztime=5s ./internal/profiler
+	$(GO) test -fuzz=FuzzOpKeyRoundTrip -fuzztime=5s ./internal/profiler
+	$(GO) test -fuzz=FuzzSearchNeverPanics -fuzztime=5s ./internal/core
+
+# chaos runs the fault-injection harness (internal/chaos) for a short
+# wall budget; it exits non-zero on any panic, invalid plan or
+# non-finite score. Lengthen with CHAOS_DURATION=120s etc.
+CHAOS_DURATION ?= 30s
+chaos:
+	$(GO) run ./cmd/acesobench -chaos-duration $(CHAOS_DURATION) chaos
 
 # bench-search re-measures search throughput and rewrites the
 # "current" block of BENCH_search.json (the recorded baseline is kept).

@@ -22,6 +22,8 @@
 package aceso
 
 import (
+	"context"
+
 	"aceso/internal/config"
 	"aceso/internal/core"
 	"aceso/internal/hardware"
@@ -63,6 +65,14 @@ type (
 	Trace = core.Trace
 	// Initializer builds starting configurations (Exp#7 variants).
 	Initializer = core.Initializer
+	// SearchError is a typed per-worker failure (panic or initializer
+	// error) reported in Result.Diagnostics.
+	SearchError = core.SearchError
+	// FaultSpec describes a degraded cluster: dead devices, per-device
+	// FLOPS/memory deratings, and derated links.
+	FaultSpec = hardware.FaultSpec
+	// DeviceFault is one device's entry in a FaultSpec.
+	DeviceFault = hardware.DeviceFault
 )
 
 // Precision of a model's training arithmetic.
@@ -103,6 +113,32 @@ var (
 // cl (Algorithm 1; one parallel worker per pipeline depth).
 func Search(g *Graph, cl Cluster, opts Options) (*Result, error) {
 	return core.Search(g, cl, opts)
+}
+
+// SearchContext is Search with caller-controlled cancellation: the
+// search stops at ctx cancellation or deadline (whichever fires first,
+// including Options.TimeBudget) and still returns the best
+// configurations found so far, with Result.Partial set. A worker that
+// panics is isolated and reported as a *SearchError in
+// Result.Diagnostics while the remaining pipeline depths finish.
+func SearchContext(ctx context.Context, g *Graph, cl Cluster, opts Options) (*Result, error) {
+	return core.SearchContext(ctx, g, cl, opts)
+}
+
+// Replan re-runs the search for a cluster degraded by faults (dead
+// devices, stragglers, derated links), seeded from the surviving
+// previous configuration so it converges quickly on a repaired plan.
+// prev may be nil for a cold-start search over the degraded cluster.
+func Replan(ctx context.Context, g *Graph, cl Cluster, faults FaultSpec, prev *Config, opts Options) (*Result, error) {
+	return core.Replan(ctx, g, cl, faults, prev, opts)
+}
+
+// Degrade applies a fault specification to a healthy cluster,
+// returning the degraded cluster the performance model and search
+// consume. Dead devices are removed (surviving devices renumbered);
+// derated devices and links keep their logical place but run slower.
+func Degrade(cl Cluster, faults FaultSpec) (Cluster, error) {
+	return cl.Degrade(faults)
 }
 
 // ProjectConfig adapts a configuration to a different device count,

@@ -1,6 +1,7 @@
 package aceso
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -146,5 +147,46 @@ func TestPublicLlama(t *testing.T) {
 	}
 	if g.TotalParams() < 6e9 {
 		t.Errorf("Llama 8B params = %.3g", g.TotalParams())
+	}
+}
+
+// TestPublicFaultToleranceAPI exercises SearchContext, Degrade and
+// Replan through the facade: plan on a healthy cluster, wound it,
+// replan around the straggler.
+func TestPublicFaultToleranceAPI(t *testing.T) {
+	g, err := GPT3("350M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := DGX1V100(1).Restrict(4)
+	opts := Options{TimeBudget: 30 * time.Second, MaxIterations: 3, Seed: 1}
+	base, err := SearchContext(context.Background(), g, cl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := FaultSpec{Devices: []DeviceFault{{Device: 1, FLOPSScale: 0.5, MemScale: 1}}}
+	deg, err := Degrade(cl, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.TotalDevices() != 4 {
+		t.Fatalf("derated (not dead) device changed the count: %d", deg.TotalDevices())
+	}
+	res, err := Replan(context.Background(), g, cl, faults, base.Best.Config, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Config == nil || !res.Best.Estimate.Feasible {
+		t.Fatalf("replan produced no feasible plan: %+v", res.Best)
+	}
+	// Cancellation through the facade keeps the partial-result contract.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	part, err := SearchContext(ctx, g, cl, Options{TimeBudget: time.Second, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !part.Partial || part.Best.Config == nil {
+		t.Errorf("pre-canceled facade search: Partial=%v Best=%v", part.Partial, part.Best.Config)
 	}
 }

@@ -14,6 +14,11 @@
 // BenchmarkSearchThroughput and writes BENCH_search.json (see
 // -benchfile), preserving any previously recorded baseline so the file
 // carries before/after numbers across optimization work.
+//
+// The extra target "chaos" (not part of "all") runs the fault-injection
+// harness of internal/chaos for -chaos-duration (or -chaos-trials
+// trials), and exits non-zero if any trial panics, returns an invalid
+// plan, or leaks a non-finite score.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"runtime"
 	"time"
 
+	"aceso/internal/chaos"
 	"aceso/internal/core"
 	"aceso/internal/exps"
 	"aceso/internal/hardware"
@@ -127,6 +133,8 @@ func main() {
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	benchFile := flag.String("benchfile", "BENCH_search.json", "output path for the search throughput benchmark")
 	benchReps := flag.Int("benchreps", 3, "repetitions of the search throughput benchmark")
+	chaosDur := flag.Duration("chaos-duration", 30*time.Second, "wall budget of the chaos target")
+	chaosTrials := flag.Int("chaos-trials", 0, "fixed trial count for the chaos target (0 = run until -chaos-duration)")
 	flag.Parse()
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -305,5 +313,26 @@ func main() {
 		}
 		exps.RenderCases(w, cases)
 		fmt.Fprintln(w)
+	}
+
+	if want["chaos"] { // deliberately not part of "all"
+		dur := *chaosDur
+		if *chaosTrials > 0 {
+			dur = 0
+		}
+		fmt.Fprintf(w, "running chaos harness (duration %v, trials %d, seed %d)...\n",
+			dur, *chaosTrials, *seed)
+		rep := chaos.Run(chaos.Options{
+			Trials:   *chaosTrials,
+			Duration: dur,
+			Seed:     *seed,
+			Log: func(format string, args ...any) {
+				fmt.Fprintf(w, format+"\n", args...)
+			},
+		})
+		fmt.Fprint(w, rep.Summary())
+		if rep.Failed() {
+			fail("chaos", fmt.Errorf("%d invariant violations", len(rep.Violations)))
+		}
 	}
 }

@@ -1,0 +1,319 @@
+// Package chaos is the fault-injection harness for the search stack:
+// it hammers SearchContext with randomly degraded clusters, hostile
+// option sets, poisoned profiler databases and malformed graphs, and
+// checks one invariant on every trial — the search returns either a
+// Validate-clean plan with finite scores or a typed error. Never a
+// panic, never a NaN.
+//
+// The harness is deliberately adversarial where the unit tests are
+// cooperative: unit tests pin the behavior of specific fault paths,
+// chaos searches for the paths nobody thought to pin. Every trial is
+// reproducible from (Options.Seed, trial index), so a violation in a
+// long run can be replayed in isolation with ReplayTrial.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"aceso/internal/core"
+	"aceso/internal/hardware"
+	"aceso/internal/model"
+	"aceso/internal/perfmodel"
+)
+
+// Options tunes a chaos run. The zero value runs DefaultTrials trials.
+type Options struct {
+	// Trials is the number of randomized trials; 0 means run until
+	// Duration expires (or DefaultTrials when Duration is also zero).
+	Trials int
+	// Duration bounds the wall time of the whole run; 0 means no bound.
+	Duration time.Duration
+	// Seed makes the trial sequence deterministic.
+	Seed int64
+	// Log, when non-nil, receives one line per trial batch.
+	Log func(format string, args ...any)
+}
+
+// DefaultTrials is the trial count when neither Trials nor Duration is
+// set.
+const DefaultTrials = 64
+
+// Violation is one broken invariant: the search panicked, returned an
+// unvalidated plan, or let a non-finite value escape.
+type Violation struct {
+	Trial  int
+	Seed   int64  // per-trial seed: replays the exact trial
+	Kind   string // "panic" | "invalid-plan" | "non-finite" | "poison-accepted"
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("trial %d (seed %d) %s: %s", v.Trial, v.Seed, v.Kind, v.Detail)
+}
+
+// Report summarizes a chaos run.
+type Report struct {
+	Trials     int
+	Plans      int // trials that produced a validated plan
+	TypedErrs  int // trials rejected with a typed error (acceptable)
+	Violations []Violation
+	Elapsed    time.Duration
+}
+
+// Failed reports whether any invariant broke.
+func (r *Report) Failed() bool { return len(r.Violations) > 0 }
+
+// Summary renders a one-paragraph human-readable outcome.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos: %d trials in %v: %d valid plans, %d typed rejections, %d violations\n",
+		r.Trials, r.Elapsed.Round(time.Millisecond), r.Plans, r.TypedErrs, len(r.Violations))
+	for i, v := range r.Violations {
+		if i == 10 {
+			fmt.Fprintf(&b, "  ... and %d more\n", len(r.Violations)-10)
+			break
+		}
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	return b.String()
+}
+
+// Run executes the chaos trials and returns the report.
+func Run(o Options) *Report {
+	start := time.Now()
+	rep := &Report{}
+	deadline := time.Time{}
+	if o.Duration > 0 {
+		deadline = start.Add(o.Duration)
+	}
+	trials := o.Trials
+	if trials <= 0 && o.Duration <= 0 {
+		trials = DefaultTrials
+	}
+	for i := 0; trials <= 0 || i < trials; i++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		seed := o.Seed + int64(i)*1000003
+		v := ReplayTrial(i, seed, rep)
+		rep.Trials++
+		if v != nil {
+			rep.Violations = append(rep.Violations, *v)
+		}
+		if o.Log != nil && (i+1)%1024 == 0 {
+			o.Log("chaos: %d trials, %d plans, %d typed errors, %d violations",
+				rep.Trials, rep.Plans, rep.TypedErrs, len(rep.Violations))
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	return rep
+}
+
+// ReplayTrial runs one trial with the given seed, updating the plan and
+// typed-error counters on rep (which may be a throwaway), and returns
+// the violation, if any. Exported so a violation found in a long run
+// can be replayed under a debugger.
+func ReplayTrial(trial int, seed int64, rep *Report) (viol *Violation) {
+	defer func() {
+		if r := recover(); r != nil {
+			viol = &Violation{
+				Trial: trial, Seed: seed, Kind: "panic",
+				Detail: fmt.Sprintf("%v\n%s", r, debug.Stack()),
+			}
+		}
+	}()
+	rng := rand.New(rand.NewSource(seed))
+	g := randomGraph(rng)
+	cl, degraded := randomCluster(rng)
+	opts := hostileOptions(rng)
+
+	// Poison the profiler database on some trials: the Load guard must
+	// reject every invalid entry, and the search must stay NaN-free
+	// either way.
+	if rng.Intn(3) == 0 {
+		pm := perfmodel.New(g, cl, opts.Seed)
+		payload, poisoned := poisonProfile(rng)
+		err := pm.Prof.Load(strings.NewReader(payload))
+		if poisoned && err == nil {
+			return &Violation{Trial: trial, Seed: seed, Kind: "poison-accepted",
+				Detail: fmt.Sprintf("profiler.Load accepted %q", payload)}
+		}
+		if err == nil {
+			opts.Model = pm
+		}
+	}
+
+	ctx := context.Background()
+	if rng.Intn(4) == 0 {
+		// A fraction of trials run pre-canceled: the partial-result
+		// contract applies from the very first instruction.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		cancel()
+	}
+
+	res, err := core.SearchContext(ctx, g, cl, opts)
+	if err != nil {
+		rep.TypedErrs++
+		return nil
+	}
+	if res == nil || res.Best.Config == nil {
+		return &Violation{Trial: trial, Seed: seed, Kind: "invalid-plan",
+			Detail: "nil result or nil best config with nil error"}
+	}
+	if verr := res.Best.Config.Validate(g, cl.TotalDevices()); verr != nil {
+		return &Violation{Trial: trial, Seed: seed, Kind: "invalid-plan",
+			Detail: fmt.Sprintf("best config fails Validate: %v (degraded=%v)", verr, degraded)}
+	}
+	for _, c := range append([]core.Candidate{res.Best}, res.TopK...) {
+		if math.IsNaN(c.Score) || math.IsInf(c.Score, 0) {
+			return &Violation{Trial: trial, Seed: seed, Kind: "non-finite",
+				Detail: fmt.Sprintf("candidate score %v", c.Score)}
+		}
+		if c.Estimate != nil && (math.IsNaN(c.Estimate.IterTime) || math.IsNaN(c.Estimate.PeakMem)) {
+			return &Violation{Trial: trial, Seed: seed, Kind: "non-finite",
+				Detail: fmt.Sprintf("estimate IterTime=%v PeakMem=%v", c.Estimate.IterTime, c.Estimate.PeakMem)}
+		}
+	}
+	rep.Plans++
+	return nil
+}
+
+// randomGraph picks a workload: usually a sane synthetic model, with a
+// hostile minority (zero-op graphs, non-finite op costs) that the
+// search must reject with a typed error.
+func randomGraph(rng *rand.Rand) *model.Graph {
+	switch rng.Intn(8) {
+	case 0: // real workload, small
+		g, _ := model.GPT3("350M")
+		return g
+	case 1: // empty graph — must be rejected, not crash
+		return model.Uniform(0, 1e9, 1e6, 1e5, 8)
+	case 2: // poisoned FLOPs
+		g := model.Uniform(4+rng.Intn(8), 1e9, 1e6, 1e5, 8)
+		g.Ops[rng.Intn(len(g.Ops))].FwdFLOPs = pick(rng, math.NaN(), math.Inf(1), -1e9)
+		return g
+	case 3: // poisoned memory footprint
+		g := model.Uniform(4+rng.Intn(8), 1e9, 1e6, 1e5, 8)
+		g.Ops[rng.Intn(len(g.Ops))].Params = pick(rng, math.NaN(), math.Inf(-1), -1)
+		return g
+	default: // sane synthetic model of random shape
+		ops := 1 + rng.Intn(24)
+		return model.Uniform(ops,
+			math.Pow(10, 6+3*rng.Float64()),  // 1e6 .. 1e9 FLOPs
+			math.Pow(10, 4+3*rng.Float64()),  // params
+			math.Pow(10, 3+2*rng.Float64()),  // activations
+			1<<rng.Intn(5))                   // batch 1..16
+	}
+}
+
+// randomCluster builds a cluster, usually degraded by a random fault
+// spec and occasionally corrupted outright (which Validate must catch).
+func randomCluster(rng *rand.Rand) (cl hardware.Cluster, degraded bool) {
+	devices := 1 << rng.Intn(5) // 1..16
+	cl = hardware.DGX1V100((devices + 7) / 8).Restrict(devices)
+	switch rng.Intn(8) {
+	case 0: // corrupted description — typed rejection expected
+		cl.MemoryBytes = pick(rng, math.NaN(), math.Inf(1), -1, 0)
+		return cl, false
+	case 1:
+		cl.InterBW = pick(rng, math.NaN(), -5)
+		return cl, false
+	}
+	if rng.Intn(2) == 0 {
+		return cl, false // healthy
+	}
+	spec := randomFaultSpec(rng, devices)
+	deg, err := cl.Degrade(spec)
+	if err != nil {
+		// Invalid spec (possible: random scales out of range); the
+		// rejection is the behavior under test, continue healthy.
+		return cl, false
+	}
+	return deg, true
+}
+
+// randomFaultSpec fuzzes deratings; roughly a third of the generated
+// entries are invalid on purpose.
+func randomFaultSpec(rng *rand.Rand, devices int) hardware.FaultSpec {
+	var spec hardware.FaultSpec
+	for d := 0; d < devices; d++ {
+		if rng.Intn(4) != 0 {
+			continue
+		}
+		f := hardware.DeviceFault{Device: d, FLOPSScale: 1, MemScale: 1}
+		switch rng.Intn(6) {
+		case 0:
+			f.Dead = true
+		case 1:
+			f.FLOPSScale = 0.05 + 0.95*rng.Float64()
+		case 2:
+			f.MemScale = 0.05 + 0.95*rng.Float64()
+		case 3: // invalid scale
+			f.FLOPSScale = pick(rng, math.NaN(), 0, -0.5, 2)
+		case 4: // out-of-range rank
+			f.Device = devices + rng.Intn(4)
+		case 5:
+			f.FLOPSScale = 0.1 + 0.9*rng.Float64()
+			f.MemScale = 0.1 + 0.9*rng.Float64()
+		}
+		spec.Devices = append(spec.Devices, f)
+	}
+	if rng.Intn(3) == 0 {
+		spec.InterBWScale = pick(rng, 0.25, 0.5, 1, -1, math.NaN())
+		spec.InterLatScale = pick(rng, 0, 2, 8, 0.5)
+	}
+	return spec
+}
+
+// hostileOptions fuzzes the search knobs, including values outside
+// their documented ranges (negatives, zeros, absurd sizes).
+func hostileOptions(rng *rand.Rand) core.Options {
+	opts := core.Options{
+		TimeBudget:     time.Duration(rng.Intn(80)+20) * time.Millisecond,
+		MaxIterations:  1 + rng.Intn(2),
+		Seed:           rng.Int63(),
+		MaxHops:        rng.Intn(12) - 2,          // includes invalid ≤ 0
+		BranchFactor:   rng.Intn(6) - 1,           // includes invalid ≤ 0
+		TopK:           rng.Intn(8) - 1,           // includes invalid ≤ 0
+		InitMicroBatch: pickInt(rng, -4, 0, 1, 2, 1024),
+	}
+	if rng.Intn(4) == 0 {
+		// Hostile stage counts: zero, negative, and absurdly deep.
+		opts.StageCounts = []int{0, -1, 1, 2, 1 << 20}[rng.Intn(3):]
+	}
+	opts.DisableHeuristic2 = rng.Intn(2) == 0
+	opts.DisableFineTune = rng.Intn(2) == 0
+	opts.ExtendedPrimitives = rng.Intn(2) == 0
+	return opts
+}
+
+// poisonProfile builds a profiler-database JSON payload; the second
+// return is true when the payload must be rejected.
+func poisonProfile(rng *rand.Rand) (string, bool) {
+	key := `op|mlp|1|0|1|1|false|fp16`
+	switch rng.Intn(5) {
+	case 0: // clean single entry
+		return fmt.Sprintf(`{"%s": %g}`, key, rng.Float64()*1e-3), false
+	case 1: // negative cost
+		return fmt.Sprintf(`{"%s": %g}`, key, -rng.Float64()), true
+	case 2: // float64 overflow → Inf
+		return fmt.Sprintf(`{"%s": 1e999}`, key), true
+	case 3: // truncated JSON
+		return fmt.Sprintf(`{"%s": 0.0`, key), true
+	default: // malformed key
+		return `{"op|broken": 1}`, true
+	}
+}
+
+// pick returns one of the values uniformly.
+func pick(rng *rand.Rand, vals ...float64) float64 { return vals[rng.Intn(len(vals))] }
+
+// pick3 is pick for ints.
+func pickInt(rng *rand.Rand, vals ...int) int { return vals[rng.Intn(len(vals))] }

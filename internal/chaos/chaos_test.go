@@ -1,0 +1,53 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestShortChaosRunIsClean is the CI-sized chaos gate: a deterministic
+// batch of trials must finish with zero violations. The acesobench
+// `chaos` target runs the same harness for longer.
+func TestShortChaosRunIsClean(t *testing.T) {
+	trials := 48
+	if testing.Short() {
+		trials = 12
+	}
+	rep := Run(Options{Trials: trials, Seed: 20260806, Log: t.Logf})
+	t.Log(rep.Summary())
+	if rep.Failed() {
+		t.Fatalf("chaos violations:\n%s", rep.Summary())
+	}
+	if rep.Trials != trials {
+		t.Errorf("ran %d trials, want %d", rep.Trials, trials)
+	}
+	if rep.Plans == 0 {
+		t.Error("no trial produced a plan — the harness is only generating garbage")
+	}
+	if rep.TypedErrs == 0 {
+		t.Error("no trial was rejected — the harness is not generating hostile inputs")
+	}
+}
+
+// TestDurationBound pins that a duration-bounded run stops on time.
+func TestDurationBound(t *testing.T) {
+	start := time.Now()
+	rep := Run(Options{Duration: 300 * time.Millisecond, Seed: 7})
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("duration-bounded run took %v", el)
+	}
+	if rep.Trials == 0 {
+		t.Error("duration-bounded run executed no trials")
+	}
+}
+
+// TestReplayIsDeterministic: the same (trial, seed) pair must reproduce
+// the same outcome counters.
+func TestReplayIsDeterministic(t *testing.T) {
+	var a, b Report
+	va := ReplayTrial(3, 12345, &a)
+	vb := ReplayTrial(3, 12345, &b)
+	if (va == nil) != (vb == nil) || a.Plans != b.Plans || a.TypedErrs != b.TypedErrs {
+		t.Errorf("replay diverged: %v/%+v vs %v/%+v", va, a, vb, b)
+	}
+}

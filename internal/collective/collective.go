@@ -38,11 +38,15 @@ func PlacementFor(c hardware.Cluster, firstDev, size int) Placement {
 	return IntraNode
 }
 
+// linkOf picks the effective link parameters for a placement,
+// including any fault-spec derates (hardware.FaultSpec): a degraded
+// fabric slows every collective that crosses it, which is exactly the
+// signal the search needs to shift communication off the bad links.
 func linkOf(c hardware.Cluster, p Placement) (bw, lat float64) {
 	if p == InterNode {
-		return c.InterBW, c.InterLat
+		return c.EffInterBW(), c.EffInterLat()
 	}
-	return c.IntraBW, c.IntraLat
+	return c.EffIntraBW(), c.EffIntraLat()
 }
 
 // AllReduce returns the time (seconds) for a ring all-reduce of `bytes`

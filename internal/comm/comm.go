@@ -39,16 +39,28 @@ type rendezvous struct {
 	outputs map[int]*tensor.Mat
 }
 
-// NewWorld returns a communicator over n ranks.
-func NewWorld(n int) *World {
+// InvalidWorldSizeError reports a World requested with a non-positive
+// rank count.
+type InvalidWorldSizeError struct{ Size int }
+
+// Error implements the error interface.
+func (e *InvalidWorldSizeError) Error() string {
+	return fmt.Sprintf("comm: invalid world size %d", e.Size)
+}
+
+// NewWorld returns a communicator over n ranks. A non-positive n is a
+// configuration error reported to the caller, not a panic: the rank
+// count comes from user-supplied configurations, which must never be
+// able to take the process down.
+func NewWorld(n int) (*World, error) {
 	if n <= 0 {
-		panic(fmt.Sprintf("comm: invalid world size %d", n))
+		return nil, &InvalidWorldSizeError{Size: n}
 	}
 	return &World{
 		n:      n,
 		points: make(map[string]*rendezvous),
 		mail:   make(map[mailKey]chan *tensor.Mat),
-	}
+	}, nil
 }
 
 // Size returns the number of ranks.

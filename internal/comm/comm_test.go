@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
@@ -11,8 +12,17 @@ func vec(vals ...float64) *tensor.Mat {
 	return &tensor.Mat{Rows: 1, Cols: len(vals), Data: vals}
 }
 
+func mustWorld(t *testing.T, n int) *World {
+	t.Helper()
+	w, err := NewWorld(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
 func TestAllReduceSum(t *testing.T) {
-	w := NewWorld(4)
+	w := mustWorld(t, 4)
 	group := []int{0, 1, 2, 3}
 	results := make([]*tensor.Mat, 4)
 	var wg sync.WaitGroup
@@ -32,7 +42,7 @@ func TestAllReduceSum(t *testing.T) {
 }
 
 func TestAllReduceIndependentGroups(t *testing.T) {
-	w := NewWorld(4)
+	w := mustWorld(t, 4)
 	groups := [][]int{{0, 1}, {2, 3}}
 	results := make([]*tensor.Mat, 4)
 	var wg sync.WaitGroup
@@ -53,7 +63,7 @@ func TestAllReduceIndependentGroups(t *testing.T) {
 }
 
 func TestConsecutiveCollectivesDoNotCollide(t *testing.T) {
-	w := NewWorld(2)
+	w := mustWorld(t, 2)
 	group := []int{0, 1}
 	out := make([][]float64, 2)
 	var wg sync.WaitGroup
@@ -75,7 +85,7 @@ func TestConsecutiveCollectivesDoNotCollide(t *testing.T) {
 }
 
 func TestAllGatherColsOrdering(t *testing.T) {
-	w := NewWorld(3)
+	w := mustWorld(t, 3)
 	group := []int{0, 1, 2}
 	results := make([]*tensor.Mat, 3)
 	var wg sync.WaitGroup
@@ -98,7 +108,7 @@ func TestAllGatherColsOrdering(t *testing.T) {
 }
 
 func TestSendRecv(t *testing.T) {
-	w := NewWorld(2)
+	w := mustWorld(t, 2)
 	w.Send(0, 1, "fwd:0", vec(42))
 	got := w.Recv(0, 1, "fwd:0")
 	if got.Data[0] != 42 {
@@ -116,7 +126,7 @@ func TestSendRecv(t *testing.T) {
 }
 
 func TestSendCopiesPayload(t *testing.T) {
-	w := NewWorld(2)
+	w := mustWorld(t, 2)
 	m := vec(7)
 	w.Send(0, 1, "t", m)
 	m.Data[0] = 99 // mutate after send
@@ -126,7 +136,7 @@ func TestSendCopiesPayload(t *testing.T) {
 }
 
 func TestAllReduceResultIsolated(t *testing.T) {
-	w := NewWorld(2)
+	w := mustWorld(t, 2)
 	group := []int{0, 1}
 	results := make([]*tensor.Mat, 2)
 	var wg sync.WaitGroup
@@ -144,11 +154,15 @@ func TestAllReduceResultIsolated(t *testing.T) {
 	}
 }
 
-func TestNewWorldPanicsOnBadSize(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
+func TestNewWorldRejectsBadSize(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		w, err := NewWorld(n)
+		if err == nil || w != nil {
+			t.Fatalf("NewWorld(%d) = %v, %v; want typed error", n, w, err)
 		}
-	}()
-	NewWorld(0)
+		var sizeErr *InvalidWorldSizeError
+		if !errors.As(err, &sizeErr) || sizeErr.Size != n {
+			t.Fatalf("NewWorld(%d) error %v is not an InvalidWorldSizeError", n, err)
+		}
+	}
 }

@@ -54,8 +54,14 @@ func Bottlenecks(est *perfmodel.Estimate, memCapacity float64) []Bottleneck {
 	out := make([]Bottleneck, 0, n)
 	for _, si := range idx {
 		s := &est.Stages[si]
+		// Per-stage capacity: a fault-derated device shrinks its
+		// stage's budget below the cluster-wide figure.
+		cap := memCapacity
+		if s.CapMem > 0 && s.CapMem < cap {
+			cap = s.CapMem
+		}
 		b := Bottleneck{Stage: si}
-		if !est.Feasible && s.PeakMem > memCapacity {
+		if !est.Feasible && s.PeakMem > cap {
 			// Safety first: resolve memory, then whatever time
 			// resource dominates.
 			b.Resources = append(b.Resources, Mem)
@@ -69,7 +75,7 @@ func Bottlenecks(est *perfmodel.Estimate, memCapacity float64) []Bottleneck {
 		}
 		// High memory pressure makes memory-relieving primitives worth
 		// exploring even before an OOM materializes.
-		if est.Feasible && s.PeakMem > 0.9*memCapacity {
+		if est.Feasible && s.PeakMem > 0.9*cap {
 			b.Resources = append(b.Resources, Mem)
 		}
 		out = append(out, b)

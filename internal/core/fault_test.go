@@ -1,0 +1,225 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"aceso/internal/config"
+	"aceso/internal/hardware"
+	"aceso/internal/model"
+	"aceso/internal/perfmodel"
+)
+
+// checkValidResult asserts the partial-result contract: a non-nil
+// result always carries a validated, finite-score best configuration.
+func checkValidResult(t *testing.T, res *Result, g *model.Graph, devices int) {
+	t.Helper()
+	if res == nil {
+		t.Fatal("nil result")
+	}
+	if res.Best.Config == nil {
+		t.Fatal("result without a best config")
+	}
+	if err := res.Best.Config.Validate(g, devices); err != nil {
+		t.Fatalf("best config fails Validate: %v", err)
+	}
+	if math.IsNaN(res.Best.Score) || math.IsInf(res.Best.Score, 0) {
+		t.Fatalf("best score is not finite: %v", res.Best.Score)
+	}
+	for _, c := range res.TopK {
+		if math.IsNaN(c.Score) || math.IsInf(c.Score, 0) {
+			t.Fatalf("top-K score is not finite: %v", c.Score)
+		}
+	}
+}
+
+func TestSearchContextPreCanceledStillReturnsBestSoFar(t *testing.T) {
+	g, _ := model.GPT3("350M")
+	cl := hardware.DGX1V100(1).Restrict(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the search even starts
+	res, err := SearchContext(ctx, g, cl, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValidResult(t, res, g, 4)
+	if !res.Partial {
+		t.Error("pre-canceled search must report Partial")
+	}
+}
+
+func TestSearchContextCancellationMidSearch(t *testing.T) {
+	g, _ := model.GPT3("350M")
+	cl := hardware.DGX1V100(1).Restrict(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	opts := quickOpts()
+	opts.TimeBudget = 30 * time.Second // cancellation, not budget, must stop it
+	start := time.Now()
+	res, err := SearchContext(ctx, g, cl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v to take effect", elapsed)
+	}
+	checkValidResult(t, res, g, 4)
+	if !res.Partial {
+		t.Error("canceled search must report Partial")
+	}
+}
+
+// TestTinyTimeBudgetReturnsBestSoFar pins the regression where a
+// deadline firing mid-multiHop lost the partial result: even a budget
+// too small to finish one iteration must yield a validated config.
+func TestTinyTimeBudgetReturnsBestSoFar(t *testing.T) {
+	g, _ := model.GPT3("350M")
+	cl := hardware.DGX1V100(1).Restrict(4)
+	for _, budget := range []time.Duration{time.Nanosecond, time.Microsecond, time.Millisecond} {
+		opts := quickOpts()
+		opts.TimeBudget = budget
+		res, err := SearchContext(context.Background(), g, cl, opts)
+		if err != nil {
+			t.Fatalf("budget %v: %v", budget, err)
+		}
+		checkValidResult(t, res, g, 4)
+		if !res.Partial {
+			t.Errorf("budget %v: result not marked Partial", budget)
+		}
+	}
+}
+
+func TestWorkerPanicIsIsolated(t *testing.T) {
+	g, _ := model.GPT3("350M")
+	cl := hardware.DGX1V100(1).Restrict(4)
+	opts := quickOpts()
+	opts.MaxIterations = 3
+	opts.Initializer = func(g *model.Graph, devices, stages, mbs int) (*config.Config, error) {
+		if stages == 2 {
+			panic("injected failure in depth-2 worker")
+		}
+		return config.Balanced(g, devices, stages, mbs)
+	}
+	res, err := SearchContext(context.Background(), g, cl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValidResult(t, res, g, 4)
+	if len(res.Diagnostics) != 1 {
+		t.Fatalf("Diagnostics = %v, want exactly one entry", res.Diagnostics)
+	}
+	d := res.Diagnostics[0]
+	if d.StageCount != 2 || d.PanicValue == nil || d.Stack == "" {
+		t.Errorf("diagnostic %+v does not describe the injected panic", d)
+	}
+	if !res.Partial {
+		t.Error("search with a dead worker must report Partial")
+	}
+	// Other depths still produced candidates.
+	if res.Best.Config.NumStages() == 2 {
+		t.Error("best came from the panicked depth")
+	}
+}
+
+func TestAllWorkersFailingReturnsTypedError(t *testing.T) {
+	g, _ := model.GPT3("350M")
+	cl := hardware.DGX1V100(1).Restrict(4)
+	opts := quickOpts()
+	opts.Initializer = func(*model.Graph, int, int, int) (*config.Config, error) {
+		return nil, errors.New("no initial config for you")
+	}
+	res, err := SearchContext(context.Background(), g, cl, opts)
+	if err == nil {
+		t.Fatalf("SearchContext = %v, want error", res)
+	}
+	var se *SearchError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v does not wrap a *SearchError", err)
+	}
+}
+
+func TestReplanIsDeterministic(t *testing.T) {
+	g, _ := model.GPT3("350M")
+	cl := hardware.DGX1V100(1)
+	opts := quickOpts()
+	opts.MaxIterations = 4
+	opts.TimeBudget = 30 * time.Second // iteration-bounded, not time-bounded
+	base, err := Search(g, cl.Restrict(8), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := hardware.FaultSpec{Devices: []hardware.DeviceFault{
+		{Device: 7, Dead: true},
+	}}
+	var hashes []uint64
+	for i := 0; i < 2; i++ {
+		res, err := Replan(context.Background(), g, cl.Restrict(8), faults, base.Best.Config, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkValidResult(t, res, g, 7)
+		hashes = append(hashes, res.Best.Config.Hash())
+	}
+	if hashes[0] != hashes[1] {
+		t.Errorf("two identical replans diverged: %x vs %x", hashes[0], hashes[1])
+	}
+}
+
+// TestReplanAvoidsStraggler is the degraded-cluster case study: one
+// device of an 8-GPU node runs at quarter speed, and the replanned
+// configuration must beat the healthy plan re-costed on the degraded
+// cluster — i.e. the search must actually shift work off the
+// straggler rather than keep the now-lopsided balance.
+func TestReplanAvoidsStraggler(t *testing.T) {
+	g, _ := model.GPT3("350M")
+	cl := hardware.DGX1V100(1)
+	opts := quickOpts()
+	opts.MaxIterations = 6
+	opts.TimeBudget = 30 * time.Second
+	base, err := Search(g, cl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := hardware.FaultSpec{Devices: []hardware.DeviceFault{
+		{Device: 5, FLOPSScale: 0.25, MemScale: 1},
+	}}
+	degraded, err := cl.Degrade(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := perfmodel.New(g, degraded, opts.Seed)
+	healthyOnDegraded := pm.Estimate(base.Best.Config)
+
+	res, err := Replan(context.Background(), g, cl, faults, base.Best.Config, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValidResult(t, res, g, 8)
+	if !res.Best.Estimate.Feasible {
+		t.Fatal("replanned config infeasible")
+	}
+	if healthyOnDegraded.Feasible && res.Best.Estimate.IterTime > healthyOnDegraded.IterTime {
+		t.Errorf("replanned %.4fs is no better than the stale healthy plan %.4fs on the degraded cluster",
+			res.Best.Estimate.IterTime, healthyOnDegraded.IterTime)
+	}
+}
+
+func TestReplanNilPrevIsColdStart(t *testing.T) {
+	g, _ := model.GPT3("350M")
+	cl := hardware.DGX1V100(1).Restrict(4)
+	opts := quickOpts()
+	opts.MaxIterations = 2
+	res, err := Replan(context.Background(), g, cl, hardware.FaultSpec{
+		Devices: []hardware.DeviceFault{{Device: 0, FLOPSScale: 0.5, MemScale: 1}},
+	}, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValidResult(t, res, g, 4)
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"aceso/internal/hardware"
+	"aceso/internal/model"
+)
+
+// FuzzSearchNeverPanics drives SearchContext with fuzzer-chosen model
+// shapes, cluster restrictions, fault deratings and option knobs, and
+// asserts the robustness contract: a valid result or a typed error,
+// never a panic, never a non-finite score. The search itself bounds
+// each case via MaxIterations, so even hostile inputs finish quickly.
+func FuzzSearchNeverPanics(f *testing.F) {
+	f.Add(4, 1e9, 1e6, 8, int64(1), 0.5, false)
+	f.Add(8, 5e9, 2e6, 16, int64(7), 1.0, true)
+	f.Add(1, 1e6, 1e3, 1, int64(0), 0.01, false)
+	f.Add(13, -1.0, 1e6, 3, int64(3), 0.25, true)
+	f.Add(2, math.Inf(1), 1e6, 4, int64(2), 0.75, false)
+	f.Fuzz(func(t *testing.T, ops int, flops, params float64, devices int, seed int64, derate float64, dead bool) {
+		if ops < 0 || ops > 64 {
+			ops %= 64
+			if ops < 0 {
+				ops = -ops
+			}
+		}
+		if devices < 0 {
+			devices = -devices
+		}
+		devices = devices%32 + 1
+		g := model.Uniform(ops, flops, params, math.Abs(flops)/1e3, 8)
+		cl := hardware.DGX1V100((devices + 7) / 8).Restrict(devices)
+		if devices > 1 {
+			spec := hardware.FaultSpec{Devices: []hardware.DeviceFault{
+				{Device: int(seed%int64(devices)+int64(devices)) % devices, Dead: dead, FLOPSScale: derate, MemScale: derate},
+			}}
+			if deg, err := cl.Degrade(spec); err == nil {
+				cl = deg
+			}
+		}
+		opts := Options{
+			TimeBudget:    200 * time.Millisecond,
+			MaxIterations: 2,
+			Seed:          seed,
+		}
+		res, err := SearchContext(context.Background(), g, cl, opts)
+		if err != nil {
+			return // typed rejection is fine; panics are what fuzzing hunts
+		}
+		if res == nil || res.Best.Config == nil {
+			t.Fatal("nil-error search returned no best config")
+		}
+		if math.IsNaN(res.Best.Score) || math.IsInf(res.Best.Score, 0) {
+			t.Fatalf("non-finite score %v escaped the search", res.Best.Score)
+		}
+		if verr := res.Best.Config.Validate(g, cl.TotalDevices()); verr != nil {
+			t.Fatalf("best config fails Validate: %v", verr)
+		}
+	})
+}

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"math/rand"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
@@ -112,6 +115,28 @@ func (c *Candidate) less(o *Candidate) bool {
 	return c.hash < o.hash
 }
 
+// SearchError describes the failure of one per-stage-count search
+// worker. A panicking worker is isolated — its goroutine recovers,
+// records the panic here, and the remaining workers finish — so a bug
+// in one searcher degrades the result instead of killing the process.
+type SearchError struct {
+	StageCount int    // pipeline depth the worker searched
+	Err        error  // non-panic failure (initializer, validation)
+	PanicValue any    // non-nil when the worker panicked
+	Stack      string // goroutine stack at the panic site
+}
+
+// Error implements the error interface.
+func (e *SearchError) Error() string {
+	if e.PanicValue != nil {
+		return fmt.Sprintf("core: stage-count %d worker panicked: %v", e.StageCount, e.PanicValue)
+	}
+	return fmt.Sprintf("core: stage-count %d worker failed: %v", e.StageCount, e.Err)
+}
+
+// Unwrap exposes the wrapped non-panic cause for errors.Is/As.
+func (e *SearchError) Unwrap() error { return e.Err }
+
 // Result is the outcome of a search.
 type Result struct {
 	Best       Candidate
@@ -120,6 +145,17 @@ type Result struct {
 	Iterations int         // top-level iterations across all workers
 	Elapsed    time.Duration
 	Trace      *Trace // nil unless Options.CollectTrace
+
+	// Partial is true when the search was interrupted before every
+	// worker converged — the context was canceled, a deadline or the
+	// TimeBudget fired mid-search, or a worker died. Best/TopK then
+	// hold the best-so-far rather than the converged outcome; they are
+	// still valid, fully-estimated configurations.
+	Partial bool
+	// Diagnostics records per-worker failures (panics, initializer
+	// errors) that did not prevent the remaining workers from
+	// producing a result. Empty on a clean search.
+	Diagnostics []*SearchError
 }
 
 // defaultStageCounts picks the pipeline depths searched in parallel.
@@ -144,6 +180,24 @@ func defaultStageCounts(devices, ops int) []int {
 // graph g over cluster cl (Algorithm 1), with one goroutine per
 // candidate pipeline depth (§4.3), and returns the merged result.
 func Search(g *model.Graph, cl hardware.Cluster, opts Options) (*Result, error) {
+	return SearchContext(context.Background(), g, cl, opts)
+}
+
+// SearchContext is Search under a caller-supplied context: cancellation
+// and the context deadline share one abort path with the TimeBudget
+// (whichever fires first wins). The partial-result contract:
+//
+//   - Cancellation, deadline expiry and per-worker panics never lose
+//     the best configuration found so far. Whenever at least one
+//     worker produced a candidate, SearchContext returns a non-nil
+//     Result (with Partial set) and a nil error — even if ctx was
+//     already canceled on entry.
+//   - A non-nil error is returned only when *no* candidate exists:
+//     invalid inputs, or every worker failed before recording one.
+//   - A panic inside one per-stage-count worker is recovered, reported
+//     as a *SearchError in Result.Diagnostics, and the other workers
+//     finish normally.
+func SearchContext(ctx context.Context, g *model.Graph, cl hardware.Cluster, opts Options) (*Result, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -153,6 +207,11 @@ func Search(g *model.Graph, cl hardware.Cluster, opts Options) (*Result, error) 
 	opts = opts.withDefaults()
 	start := time.Now()
 	deadline := start.Add(opts.TimeBudget)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	ctx, cancel := context.WithDeadline(ctx, deadline)
+	defer cancel()
 
 	pm := opts.Model
 	if pm == nil {
@@ -172,55 +231,73 @@ func Search(g *model.Graph, cl hardware.Cluster, opts Options) (*Result, error) 
 		topK       []Candidate
 		explored   int
 		iterations int
-		err        error
+		converged  bool
+		err        *SearchError
 	}
 	outs := make([]workerOut, len(stageCounts))
+	memNorm := cl.MinDeviceMemory()
 	var wg sync.WaitGroup
 	for wi, p := range stageCounts {
 		wg.Add(1)
 		go func(wi, p int) {
 			defer wg.Done()
+			// Panic isolation: one buggy searcher (a bad primitive, a
+			// poisoned estimate) must not take down its siblings.
+			defer func() {
+				if r := recover(); r != nil {
+					outs[wi] = workerOut{err: &SearchError{
+						StageCount: p,
+						PanicValue: r,
+						Stack:      string(debug.Stack()),
+					}}
+				}
+			}()
 			init, err := opts.Initializer(g, cl.TotalDevices(), p, opts.InitMicroBatch)
 			if err != nil {
-				outs[wi] = workerOut{err: err}
+				outs[wi] = workerOut{err: &SearchError{StageCount: p, Err: err}}
 				return
 			}
 			s := &searcher{
 				graph:    g,
 				cluster:  cl,
+				memNorm:  memNorm,
 				pm:       pm,
 				opts:     opts,
 				deadline: deadline,
+				done:     ctx.Done(),
 				visited:  make(map[uint64]bool),
 				pool:     make(map[uint64]*Candidate),
 				cache:    make(map[uint64]*perfmodel.Estimate),
 				rng:      rand.New(rand.NewSource(opts.Seed + int64(p)*7919)),
 				trace:    trace,
 			}
-			topK, iters := s.run(init)
-			outs[wi] = workerOut{topK: topK, explored: s.explored, iterations: iters}
+			topK, iters, converged := s.run(init)
+			outs[wi] = workerOut{topK: topK, explored: s.explored, iterations: iters, converged: converged}
 		}(wi, p)
 	}
 	wg.Wait()
 
 	res := &Result{Trace: trace}
 	var all []Candidate
-	var firstErr error
 	ok := false
+	allConverged := true
 	for _, o := range outs {
 		if o.err != nil {
-			if firstErr == nil {
-				firstErr = o.err
-			}
+			res.Diagnostics = append(res.Diagnostics, o.err)
 			continue
 		}
 		ok = true
+		allConverged = allConverged && o.converged
 		all = append(all, o.topK...)
 		res.Explored += o.explored
 		res.Iterations += o.iterations
 	}
+	res.Partial = len(res.Diagnostics) > 0 || !allConverged || ctx.Err() != nil
 	if !ok {
-		return nil, fmt.Errorf("core: no pipeline depth is searchable: %w", firstErr)
+		if len(res.Diagnostics) > 0 {
+			return nil, fmt.Errorf("core: no pipeline depth is searchable: %w", res.Diagnostics[0])
+		}
+		return nil, fmt.Errorf("core: no pipeline depth is searchable")
 	}
 	sort.SliceStable(all, func(a, b int) bool {
 		return all[a].less(&all[b])
@@ -248,9 +325,11 @@ func Search(g *model.Graph, cl hardware.Cluster, opts Options) (*Result, error) 
 type searcher struct {
 	graph    *model.Graph
 	cluster  hardware.Cluster
+	memNorm  float64 // min per-device memory (infeasibility normalizer)
 	pm       *perfmodel.Model
 	opts     Options
 	deadline time.Time
+	done     <-chan struct{} // context cancellation, shared with the deadline
 
 	visited  map[uint64]bool                // every config ever estimated (dedup, §4.3)
 	pool     map[uint64]*Candidate          // unexplored configs (Algorithm 1)
@@ -260,7 +339,20 @@ type searcher struct {
 	trace    *Trace
 }
 
-func (s *searcher) expired() bool { return time.Now().After(s.deadline) }
+// expired reports whether the search must stop: the context was
+// canceled (or its deadline — which already folds in the TimeBudget —
+// fired), or the wall clock passed the budget. Both checks are cheap
+// enough for the per-candidate hot path.
+func (s *searcher) expired() bool {
+	if s.done != nil {
+		select {
+		case <-s.done:
+			return true
+		default:
+		}
+	}
+	return time.Now().After(s.deadline)
+}
 
 // estimate memoizes performance-model evaluations by semantic hash and
 // counts unique explored configurations.
@@ -277,17 +369,36 @@ func (s *searcher) estimate(cfg *config.Config) *perfmodel.Estimate {
 
 // score maps an estimate to a single comparable figure: iteration time
 // when feasible; a large penalty plus the memory excess otherwise so
-// that approaching feasibility still registers as progress.
+// that approaching feasibility still registers as progress. Non-finite
+// estimates (poisoned profiles that slipped past input validation)
+// collapse to a worst-possible finite score — NaN must never reach the
+// comparators, where every ordering test against it is false.
 func (s *searcher) score(e *perfmodel.Estimate) float64 {
 	if e.Feasible {
-		return e.IterTime
+		if t := e.IterTime; t >= 0 && !math.IsInf(t, 0) && !math.IsNaN(t) {
+			return t
+		}
+		return infeasibleScore * poisonedPenalty
 	}
-	return infeasibleScore * (1 + e.PeakMem/s.cluster.MemoryBytes)
+	pen := infeasibleScore * (1 + e.PeakMem/s.memNorm)
+	if pen >= infeasibleScore && !math.IsInf(pen, 0) && !math.IsNaN(pen) {
+		return pen
+	}
+	return infeasibleScore * poisonedPenalty
 }
 
+// poisonedPenalty ranks non-finite-scored configs below every honest
+// infeasible one while keeping the score itself finite.
+const poisonedPenalty = 1e6
+
 // run executes Algorithm 1 for one pipeline depth and returns its
-// local top-K candidates and iteration count.
-func (s *searcher) run(init *config.Config) ([]Candidate, int) {
+// local top-K candidates, iteration count, and whether it converged
+// (exhausted its pool or iteration budget) rather than being cut off
+// by the deadline. The initial configuration is recorded before the
+// first expiry check, so run always returns at least one candidate —
+// the best-so-far guarantee that SearchContext's partial-result
+// contract rests on.
+func (s *searcher) run(init *config.Config) ([]Candidate, int, bool) {
 	cur := init
 	s.visited[init.Hash()] = true
 	var topK []Candidate
@@ -303,8 +414,10 @@ func (s *searcher) run(init *config.Config) ([]Candidate, int) {
 	record(cur)
 
 	iters := 0
+	converged := false
 	for !s.expired() {
 		if s.opts.MaxIterations > 0 && iters >= s.opts.MaxIterations {
+			converged = true
 			break
 		}
 		iters++
@@ -346,11 +459,12 @@ func (s *searcher) run(init *config.Config) ([]Candidate, int) {
 		// promising unexplored configuration (Algorithm 1 line 13).
 		next := s.popBestUnexplored()
 		if next == nil {
-			break // converged for this stage count
+			converged = true // exhausted for this stage count
+			break
 		}
 		cur = next
 	}
-	return topK, iters
+	return topK, iters, converged
 }
 
 // multiHop is Algorithm 2: explore primitive groups for the bottleneck
@@ -381,6 +495,12 @@ func (s *searcher) multiHop(cfg *config.Config, bn Bottleneck, hop int, initScor
 		var cands []Candidate
 		for _, prim := range prims {
 			for _, c := range prim.apply(s, cfg, bn.Stage) {
+				// A deadline or cancellation that fires mid-hop must
+				// abort promptly, not after this primitive's whole
+				// candidate batch has been estimated.
+				if s.expired() {
+					return nil, 0
+				}
 				if c == nil {
 					continue
 				}
@@ -454,7 +574,7 @@ func (s *searcher) attachRecompute(cfg *config.Config) *config.Config {
 	}
 	out := cfg
 	for si := range out.Stages {
-		if e.Stages[si].PeakMem <= s.cluster.MemoryBytes {
+		if e.Stages[si].PeakMem <= e.Stages[si].CapMem {
 			continue
 		}
 		cands := applyIncRC(s, out, si)
@@ -465,7 +585,8 @@ func (s *searcher) attachRecompute(cfg *config.Config) *config.Config {
 		// fixes this stage, else the most aggressive.
 		pick := cands[len(cands)-1]
 		for _, c := range cands {
-			if s.estimate(c).Stages[si].PeakMem <= s.cluster.MemoryBytes {
+			ce := s.estimate(c)
+			if ce.Stages[si].PeakMem <= ce.Stages[si].CapMem {
 				pick = c
 				break
 			}

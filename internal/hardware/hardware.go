@@ -60,6 +60,12 @@ type Cluster struct {
 	// IntraLat/InterLat are per-hop latencies in seconds.
 	IntraLat float64
 	InterLat float64
+
+	// Faults describes degraded hardware; nil means healthy. Set via
+	// Degrade (never directly): Degrade validates and normalizes the
+	// spec, and the attached value is read-only afterwards — Cluster
+	// copies share it.
+	Faults *FaultSpec
 }
 
 // DGX1V100 returns a cluster of n DGX-1-like nodes: 8 V100-32GB per
@@ -79,8 +85,9 @@ func DGX1V100(nodes int) Cluster {
 	}
 }
 
-// TotalDevices returns the number of devices in the cluster.
-func (c Cluster) TotalDevices() int { return c.Nodes * c.DevicesPerNode }
+// TotalDevices returns the number of usable devices in the cluster
+// (dead devices removed by Degrade do not count).
+func (c Cluster) TotalDevices() int { return c.Nodes*c.DevicesPerNode - c.DeadDevices() }
 
 // PeakFLOPS returns the peak per-device throughput for a precision.
 func (c Cluster) PeakFLOPS(p Precision) float64 {
@@ -90,29 +97,39 @@ func (c Cluster) PeakFLOPS(p Precision) float64 {
 	return c.FP16FLOPS
 }
 
-// Validate reports whether the cluster description is usable.
+// Validate reports whether the cluster description is usable. Every
+// numeric field must be finite: NaN compares false against any bound,
+// so explicit non-finite checks are what keeps poisoned descriptions
+// out of the search's scores.
 func (c Cluster) Validate() error {
 	switch {
 	case c.Nodes <= 0:
 		return fmt.Errorf("hardware: Nodes = %d, want > 0", c.Nodes)
 	case c.DevicesPerNode <= 0:
 		return fmt.Errorf("hardware: DevicesPerNode = %d, want > 0", c.DevicesPerNode)
-	case c.FP16FLOPS <= 0 || c.FP32FLOPS <= 0:
-		return fmt.Errorf("hardware: non-positive FLOPS")
-	case c.MaxUtil <= 0 || c.MaxUtil > 1:
+	case !finite(c.FP16FLOPS) || !finite(c.FP32FLOPS) || c.FP16FLOPS <= 0 || c.FP32FLOPS <= 0:
+		return fmt.Errorf("hardware: non-positive or non-finite FLOPS")
+	case !finite(c.MaxUtil) || c.MaxUtil <= 0 || c.MaxUtil > 1:
 		return fmt.Errorf("hardware: MaxUtil = %v, want (0, 1]", c.MaxUtil)
-	case c.MemoryBytes <= 0:
-		return fmt.Errorf("hardware: non-positive MemoryBytes")
-	case c.IntraBW <= 0 || c.InterBW <= 0:
-		return fmt.Errorf("hardware: non-positive bandwidth")
-	case c.IntraLat < 0 || c.InterLat < 0:
-		return fmt.Errorf("hardware: negative latency")
+	case !finite(c.MemoryBytes) || c.MemoryBytes <= 0:
+		return fmt.Errorf("hardware: non-positive or non-finite MemoryBytes")
+	case !finite(c.IntraBW) || !finite(c.InterBW) || c.IntraBW <= 0 || c.InterBW <= 0:
+		return fmt.Errorf("hardware: non-positive or non-finite bandwidth")
+	case !finite(c.IntraLat) || !finite(c.InterLat) || c.IntraLat < 0 || c.InterLat < 0:
+		return fmt.Errorf("hardware: negative or non-finite latency")
+	}
+	if c.Faults != nil {
+		healthy := c
+		healthy.Faults = nil
+		if err := c.Faults.Validate(healthy); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// NodeOf returns the node index hosting a global device rank.
-func (c Cluster) NodeOf(dev int) int { return dev / c.DevicesPerNode }
+// NodeOf returns the node index hosting a (logical) device rank.
+func (c Cluster) NodeOf(dev int) int { return c.PhysOf(dev) / c.DevicesPerNode }
 
 // GroupSpansNodes reports whether the contiguous device range
 // [first, first+size) crosses a node boundary.

@@ -12,6 +12,7 @@ package model
 
 import (
 	"fmt"
+	"math"
 
 	"aceso/internal/hardware"
 )
@@ -173,11 +174,18 @@ func (g *Graph) Validate() error {
 		if o.ID != i {
 			return fmt.Errorf("model %q: op %d has ID %d", g.Name, i, o.ID)
 		}
-		if o.FwdFLOPs < 0 || o.Params < 0 || o.ActElems <= 0 || o.WorkElems < 0 {
+		// The explicit non-finite checks matter: NaN compares false
+		// against every bound, so a poisoned cost would sail through
+		// `< 0` and corrupt every downstream score.
+		nonFinite := math.IsNaN(o.FwdFLOPs) || math.IsInf(o.FwdFLOPs, 0) ||
+			math.IsNaN(o.Params) || math.IsInf(o.Params, 0) ||
+			math.IsNaN(o.ActElems) || math.IsInf(o.ActElems, 0) ||
+			math.IsNaN(o.WorkElems) || math.IsInf(o.WorkElems, 0)
+		if nonFinite || o.FwdFLOPs < 0 || o.Params < 0 || o.ActElems <= 0 || o.WorkElems < 0 {
 			return fmt.Errorf("model %q: op %q has invalid costs", g.Name, o.Name)
 		}
-		if o.BwdFLOPsFactor < 0 {
-			return fmt.Errorf("model %q: op %q has negative BwdFLOPsFactor", g.Name, o.Name)
+		if math.IsNaN(o.BwdFLOPsFactor) || math.IsInf(o.BwdFLOPsFactor, 0) || o.BwdFLOPsFactor < 0 {
+			return fmt.Errorf("model %q: op %q has negative or non-finite BwdFLOPsFactor", g.Name, o.Name)
 		}
 		if len(o.Dims) == 0 {
 			return fmt.Errorf("model %q: op %q has no partition dims", g.Name, o.Name)

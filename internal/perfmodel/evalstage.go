@@ -38,7 +38,12 @@ func (m *Model) EvalStage(start, end, devices, tp, dp int, recompute bool,
 	}
 	// Route through the shared stage memo: the DP baselines enumerate
 	// the same (range, tp, dp) stages under many pipeline contexts.
-	return m.stageMetrics(&st, microBatch, firstDev, inflight, prevDevices), nil
+	sm := m.stageMetrics(&st, microBatch, firstDev, inflight, prevDevices)
+	// CapMem depends on the device range, not the stage contents, so
+	// it is filled outside the memoized value (exactly as Estimate
+	// does).
+	sm.CapMem = m.Cluster.RangeMemory(firstDev, devices)
+	return sm, nil
 }
 
 // ComposePipeline turns per-stage metrics into an Estimate for a
@@ -53,7 +58,10 @@ func (m *Model) ComposePipeline(stages []StageMetrics, n int) *Estimate {
 	}
 	for i := range est.Stages {
 		sm := &est.Stages[i]
-		if sm.PeakMem > m.Cluster.MemoryBytes {
+		if sm.CapMem == 0 {
+			sm.CapMem = m.Cluster.MemoryBytes
+		}
+		if sm.PeakMem > sm.CapMem {
 			est.Feasible = false
 			if est.OOMStage < 0 || sm.PeakMem > est.Stages[est.OOMStage].PeakMem {
 				est.OOMStage = i

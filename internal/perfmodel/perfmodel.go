@@ -23,6 +23,8 @@
 package perfmodel
 
 import (
+	"fmt"
+	"math"
 	"sync"
 
 	"aceso/internal/collective"
@@ -67,6 +69,12 @@ type StageMetrics struct {
 	ActPerMB float64 // activation stash per in-flight microbatch
 	ExtraMem float64 // allocator over-estimate (max op working set)
 	PeakMem  float64 // Eq. 1 total
+
+	// CapMem is the usable memory of the stage's most constrained
+	// device (equal to Cluster.MemoryBytes on a healthy cluster; less
+	// when a fault spec derates a device in the stage's range). Filled
+	// by Estimate, not cached with the stage metrics.
+	CapMem float64
 }
 
 // CompTime returns the pure-compute share of one microbatch.
@@ -216,9 +224,11 @@ func (m *Model) Estimate(cfg *config.Config) *Estimate {
 			prevDevices = cfg.Stages[si-1].Devices
 		}
 		est.Stages[si] = m.stageMetrics(st, cfg.MicroBatch, firstDev, inflight, prevDevices)
+		cap := m.Cluster.RangeMemory(firstDev, st.Devices)
 		firstDev += st.Devices
 		sm := &est.Stages[si]
-		if sm.PeakMem > m.Cluster.MemoryBytes {
+		sm.CapMem = cap
+		if sm.PeakMem > cap {
 			est.Feasible = false
 			if est.OOMStage < 0 || sm.PeakMem > est.Stages[est.OOMStage].PeakMem {
 				est.OOMStage = si
@@ -241,6 +251,10 @@ func (m *Model) evalStage(st *config.Stage, microBatch, firstDev, inflight, prev
 	g := m.Graph
 	prec := g.Precision
 	bpe := prec.BytesPerElem()
+	// Straggler semantics: the stage's SPMD ranks advance in lockstep,
+	// so every kernel runs at the pace of the range's slowest device
+	// (1 on a healthy cluster).
+	derate := m.Cluster.RangeFLOPSScale(firstDev, st.Devices)
 	var sm StageMetrics
 	{
 		// Layout tracking across the stage for relayout collectives.
@@ -299,8 +313,8 @@ func (m *Model) evalStage(st *config.Stage, microBatch, firstDev, inflight, prev
 				sm.TPComm += 2 * t
 			}
 
-			fwd := m.Prof.OpTime(op, set.TP, set.Dim, samples, shards, false, prec)
-			bwd := m.Prof.OpTime(op, set.TP, set.Dim, samples, shards, true, prec)
+			fwd := m.Prof.OpTime(op, set.TP, set.Dim, samples, shards, false, prec) / derate
+			bwd := m.Prof.OpTime(op, set.TP, set.Dim, samples, shards, true, prec) / derate
 			sm.FwdTime += fwd
 			sm.BwdTime += bwd
 			if set.Recompute {
@@ -432,6 +446,53 @@ func (m *Model) composeIterTime(est *Estimate, n int) {
 			est.IterTime = sm.StageTime
 		}
 	}
+}
+
+// ValidateEstimate rejects estimates containing non-finite or negative
+// times or memories — the symptom of poisoned profiler entries or
+// hand-constructed graphs/clusters that slipped past input validation.
+// The search's comparators silently mis-order on NaN (every comparison
+// is false), so a poisoned estimate must fail loudly here instead.
+func ValidateEstimate(e *Estimate) error {
+	if e == nil {
+		return fmt.Errorf("perfmodel: nil estimate")
+	}
+	bad := func(what string, v float64) error {
+		return fmt.Errorf("perfmodel: estimate has non-finite or negative %s (%v)", what, v)
+	}
+	if math.IsNaN(e.IterTime) || math.IsInf(e.IterTime, 0) || e.IterTime < 0 {
+		return bad("IterTime", e.IterTime)
+	}
+	if math.IsNaN(e.PeakMem) || math.IsInf(e.PeakMem, 0) || e.PeakMem < 0 {
+		return bad("PeakMem", e.PeakMem)
+	}
+	for i := range e.Stages {
+		s := &e.Stages[i]
+		for _, f := range [...]struct {
+			name string
+			v    float64
+		}{
+			{"FwdTime", s.FwdTime}, {"BwdTime", s.BwdTime}, {"StageTime", s.StageTime},
+			{"DPSync", s.DPSync}, {"ParamMem", s.ParamMem}, {"OptMem", s.OptMem},
+			{"ActPerMB", s.ActPerMB}, {"ExtraMem", s.ExtraMem}, {"PeakMem", s.PeakMem},
+		} {
+			if math.IsNaN(f.v) || math.IsInf(f.v, 0) || f.v < 0 {
+				return fmt.Errorf("perfmodel: stage %d has non-finite or negative %s (%v)", i, f.name, f.v)
+			}
+		}
+	}
+	return nil
+}
+
+// EstimateChecked is Estimate followed by ValidateEstimate — the entry
+// point for callers that consume untrusted graphs, clusters or
+// profiler databases (the chaos harness, external tooling).
+func (m *Model) EstimateChecked(cfg *config.Config) (*Estimate, error) {
+	est := m.Estimate(cfg)
+	if err := ValidateEstimate(est); err != nil {
+		return nil, err
+	}
+	return est, nil
 }
 
 // EffectiveTFLOPS returns the per-GPU effective TFLOPS of an estimate:

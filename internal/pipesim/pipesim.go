@@ -248,7 +248,13 @@ func SimulateSchedule(pm *perfmodel.Model, cfg *config.Config, seed int64, sched
 		if mem > res.PeakMem {
 			res.PeakMem = mem
 		}
-		if mem > pm.Cluster.MemoryBytes {
+		// Fault-aware capacity: a derated device shrinks its stage's
+		// budget (CapMem == Cluster.MemoryBytes on healthy hardware).
+		cap := sm.CapMem
+		if cap <= 0 {
+			cap = pm.Cluster.MemoryBytes
+		}
+		if mem > cap {
 			res.OOM = true
 		}
 	}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 	"sync"
@@ -265,7 +266,12 @@ func (p *Profiler) Save(w io.Writer) error {
 	return json.NewEncoder(w).Encode(out)
 }
 
-// Load replaces the memoized database with entries read from r.
+// Load replaces the memoized database with entries read from r. Every
+// entry must be a finite, non-negative time: a poisoned database (NaN,
+// Inf or negative entries — e.g. a truncated or hand-edited JSON file)
+// is rejected here so garbage never reaches the performance model,
+// where a single NaN would silently corrupt every comparison it
+// touches (NaN compares false against any bound).
 func (p *Profiler) Load(r io.Reader) error {
 	raw := make(map[string]float64)
 	if err := json.NewDecoder(r).Decode(&raw); err != nil {
@@ -276,6 +282,9 @@ func (p *Profiler) Load(r io.Reader) error {
 		k, ok := parseOpKey(s)
 		if !ok {
 			return fmt.Errorf("profiler: load: malformed key %q", s)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("profiler: load: entry %q has invalid time %v", s, v)
 		}
 		db[k] = v
 	}

@@ -228,3 +228,24 @@ func TestSaveLoadLargeDatabase(t *testing.T) {
 		t.Error("round-tripped value differs")
 	}
 }
+
+func TestLoadRejectsPoisonedValues(t *testing.T) {
+	// A valid key with an invalid time: negative values parse as JSON
+	// but must never enter the database (non-finite literals like NaN
+	// are already unrepresentable in JSON and fail at decode time).
+	key := opKey{"mlp", 1, 0, 1, 1, false, hardware.FP16}.String()
+	for _, bad := range []string{
+		`{"` + key + `": -1}`,
+		`{"` + key + `": -1e30}`,
+		`{"` + key + `": 1e999}`, // overflows float64 → decode error
+		`{"` + key + `": 1`,      // truncated JSON
+	} {
+		p := New(hardware.DGX1V100(1), 1)
+		if err := p.Load(strings.NewReader(bad)); err == nil {
+			t.Errorf("Load(%s) accepted a poisoned database", bad)
+		}
+		if p.Entries() != 0 {
+			t.Errorf("Load(%s) left %d entries behind", bad, p.Entries())
+		}
+	}
+}

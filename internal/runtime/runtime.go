@@ -24,6 +24,20 @@ import (
 	"aceso/internal/tensor"
 )
 
+// UnsupportedOpError reports an operator kind the numeric runtime
+// cannot execute. It is returned (never panicked) so that a caller
+// handing the runtime an exotic graph gets a diagnosable failure
+// instead of a crashed process.
+type UnsupportedOpError struct {
+	Op   int // operator index in the graph
+	Kind model.OpKind
+}
+
+// Error implements the error interface.
+func (e *UnsupportedOpError) Error() string {
+	return fmt.Sprintf("runtime: op %d has unsupported kind %v", e.Op, e.Kind)
+}
+
 // Optimizer selects the update rule applied after each iteration.
 type Optimizer int
 
@@ -197,7 +211,7 @@ func Serial(g *model.Graph, p *Params, x, y *tensor.Mat, microBatch int, lr floa
 				case model.KindElementwise:
 					act = tensor.ReLU(act)
 				default:
-					return nil, fmt.Errorf("runtime: unsupported op kind %v", g.Ops[i].Kind)
+					return nil, &UnsupportedOpError{Op: i, Kind: g.Ops[i].Kind}
 				}
 			}
 			loss, d := tensor.MSE(act, ymb)
@@ -317,12 +331,22 @@ func Parallel(g *model.Graph, cfg *config.Config, p *Params, x, y *tensor.Mat, l
 					return nil, fmt.Errorf("runtime: op %d: %d heads not divisible by tp %d",
 						j, p.Arch.Heads, set.TP)
 				}
+			case model.KindLayerNorm, model.KindElementwise:
+				// Executable with no extra parameters.
+			default:
+				// Rejecting unknown kinds up front keeps the error out
+				// of the concurrent stage executors, where a failing
+				// stage would leave its neighbors blocked on Recv.
+				return nil, &UnsupportedOpError{Op: j, Kind: op.Kind}
 			}
 		}
 	}
 
 	p.ensureOptState()
-	world := comm.NewWorld(cfg.TotalDevices())
+	world, err := comm.NewWorld(cfg.TotalDevices())
+	if err != nil {
+		return nil, fmt.Errorf("runtime: %w", err)
+	}
 	numMB := g.GlobalBatch / cfg.MicroBatch
 	p0 := cfg.NumStages()
 
@@ -437,7 +461,7 @@ type stash struct {
 // forward runs the stage's ops for one microbatch, returning the
 // stash. When record is false (recompute's regeneration pass skips
 // nothing), rc ops stash too.
-func (e *stageExec) forward(in *tensor.Mat, record bool) *stash {
+func (e *stageExec) forward(in *tensor.Mat, record bool) (*stash, error) {
 	s := &stash{input: in, perOp: make([]*acts, e.st.NumOps())}
 	var a *acts
 	for j := e.st.Start; j < e.st.End; j++ {
@@ -454,14 +478,18 @@ func (e *stageExec) forward(in *tensor.Mat, record bool) *stash {
 		if record || !set.Recompute {
 			s.perOp[j-e.st.Start] = a
 		}
-		a = e.forwardOp(j, a)
+		var err error
+		a, err = e.forwardOp(j, a)
+		if err != nil {
+			return nil, err
+		}
 	}
 	s.output = a
-	return s
+	return s, nil
 }
 
 // forwardOp applies op j to activation a.
-func (e *stageExec) forwardOp(j int, a *acts) *acts {
+func (e *stageExec) forwardOp(j int, a *acts) (*acts, error) {
 	op := &e.g.Ops[j]
 	set := e.st.Setting(j)
 	switch op.Kind {
@@ -505,7 +533,7 @@ func (e *stageExec) forwardOp(j int, a *acts) *acts {
 				out.parts[d] = []*tensor.Mat{tensor.AddBias(sum, b)}
 			}
 		}
-		return out
+		return out, nil
 	case model.KindAttentionCore:
 		// DimHead: each tp rank attends over its own heads. A matching
 		// column-split input (head-major QKV blocks from the column-
@@ -525,7 +553,7 @@ func (e *stageExec) forwardOp(j int, a *acts) *acts {
 			}
 			out.parts[d] = outParts
 		}
-		return out
+		return out, nil
 	case model.KindLayerNorm:
 		// DimNone: computed replicated on every tp rank over the full
 		// hidden dimension — a column-split input gathers first (the
@@ -537,7 +565,7 @@ func (e *stageExec) forwardOp(j int, a *acts) *acts {
 			y, _ := tensor.LayerNorm(xFull, gain, bias)
 			out.parts[d] = []*tensor.Mat{y}
 		}
-		return out
+		return out, nil
 	case model.KindElementwise:
 		out := &acts{dp: a.dp, tp: a.tp, layout: a.layout, parts: make([][]*tensor.Mat, a.dp)}
 		for d := range a.parts {
@@ -546,9 +574,9 @@ func (e *stageExec) forwardOp(j int, a *acts) *acts {
 				out.parts[d][t] = tensor.ReLU(a.parts[d][t])
 			}
 		}
-		return out
+		return out, nil
 	default:
-		panic(fmt.Sprintf("runtime: unsupported op kind %v", op.Kind))
+		return nil, &UnsupportedOpError{Op: j, Kind: op.Kind}
 	}
 }
 
@@ -563,11 +591,15 @@ func replicaFull(a *acts, d int) *tensor.Mat {
 // backward runs the stage's backward for one microbatch, accumulating
 // weight gradients into acc and returning the gradient for the
 // previous stage (full rows).
-func (e *stageExec) backward(s *stash, dOut *tensor.Mat, acc *grads) *tensor.Mat {
+func (e *stageExec) backward(s *stash, dOut *tensor.Mat, acc *grads) (*tensor.Mat, error) {
 	// Regenerate missing stashes (recomputation).
 	for j := e.st.Start; j < e.st.End; j++ {
 		if s.perOp[j-e.st.Start] == nil {
-			s = e.forward(s.input, true)
+			var err error
+			s, err = e.forward(s.input, true)
+			if err != nil {
+				return nil, err
+			}
 			break
 		}
 	}
@@ -578,13 +610,17 @@ func (e *stageExec) backward(s *stash, dOut *tensor.Mat, acc *grads) *tensor.Mat
 			d = fromFull(d.full(), set.DP)
 		}
 		in := s.perOp[j-e.st.Start]
-		d = e.backwardOp(j, in, d, acc)
+		var err error
+		d, err = e.backwardOp(j, in, d, acc)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return d.full()
+	return d.full(), nil
 }
 
 // backwardOp propagates gradients through op j given its stashed input.
-func (e *stageExec) backwardOp(j int, in, d *acts, acc *grads) *acts {
+func (e *stageExec) backwardOp(j int, in, d *acts, acc *grads) (*acts, error) {
 	op := &e.g.Ops[j]
 	set := e.st.Setting(j)
 	switch op.Kind {
@@ -630,7 +666,7 @@ func (e *stageExec) backwardOp(j int, in, d *acts, acc *grads) *acts {
 				out.parts[dp] = []*tensor.Mat{tensor.ConcatCols(dxParts...)}
 			}
 		}
-		return out
+		return out, nil
 	case model.KindAttentionCore:
 		arch := e.params.Arch
 		dh := arch.Hidden / arch.Heads
@@ -647,7 +683,7 @@ func (e *stageExec) backwardOp(j int, in, d *acts, acc *grads) *acts {
 			}
 			out.parts[dp] = dParts
 		}
-		return out
+		return out, nil
 	case model.KindLayerNorm:
 		out := &acts{dp: set.DP, tp: 1, layout: model.Replicated, parts: make([][]*tensor.Mat, set.DP)}
 		gain := e.params.W[j]
@@ -657,7 +693,7 @@ func (e *stageExec) backwardOp(j int, in, d *acts, acc *grads) *acts {
 			_, cache := tensor.LayerNorm(x, gain, e.params.B[j])
 			out.parts[dp] = []*tensor.Mat{tensor.LayerNormBackward(dy, cache, gain, acc.W[j], acc.B[j])}
 		}
-		return out
+		return out, nil
 	case model.KindElementwise:
 		out := &acts{dp: d.dp, tp: 1, layout: model.Replicated, parts: make([][]*tensor.Mat, d.dp)}
 		for dp := 0; dp < d.dp; dp++ {
@@ -665,9 +701,9 @@ func (e *stageExec) backwardOp(j int, in, d *acts, acc *grads) *acts {
 			x := replicaFull(in, dp)
 			out.parts[dp] = []*tensor.Mat{tensor.ReLUBackward(dy, x)}
 		}
-		return out
+		return out, nil
 	default:
-		panic(fmt.Sprintf("runtime: unsupported op kind %v", op.Kind))
+		return nil, &UnsupportedOpError{Op: j, Kind: op.Kind}
 	}
 }
 
@@ -761,7 +797,10 @@ func (e *stageExec) run(x, y *tensor.Mat, lr float64, iters, numMB int) ([]float
 			} else {
 				in = e.world.Recv(prevDev, e.firstDev, tag("fwd", it, mb))
 			}
-			s := e.forward(in, false)
+			s, err := e.forward(in, false)
+			if err != nil {
+				return nil, err
+			}
 			stashes[mb] = s
 			if last {
 				out := s.output.full()
@@ -780,7 +819,10 @@ func (e *stageExec) run(x, y *tensor.Mat, lr float64, iters, numMB int) ([]float
 			} else {
 				d = e.world.Recv(nextDev, e.firstDev, tag("bwd", it, mb))
 			}
-			dIn := e.backward(stashes[mb], d, acc)
+			dIn, err := e.backward(stashes[mb], d, acc)
+			if err != nil {
+				return nil, err
+			}
 			if prevDev >= 0 {
 				e.world.Send(e.firstDev, prevDev, tag("bwd", it, mb), dIn)
 			}

@@ -8,6 +8,16 @@
 //
 // float64 storage keeps parallel/serial comparisons tight: the only
 // divergence between executions is floating-point summation order.
+//
+// Shape mismatches panic rather than return errors. That is a
+// deliberate contract: every caller in this repo derives shapes from a
+// validated configuration, so a mismatched MatMul or slice is a
+// programmer error (a bug in the runtime's sharding arithmetic), not a
+// recoverable input condition. Panicking at the exact faulty call site
+// is worth more than an error value that every hot loop would have to
+// thread upward. User-facing entry points (Search, the runtime
+// executors) validate their inputs before any tensor math runs, so
+// these panics are unreachable from untrusted input.
 package tensor
 
 import (
