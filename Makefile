@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test ci bench-search chaos fuzz-smoke
+.PHONY: build test ci bench-search chaos fuzz-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -11,14 +11,25 @@ test:
 # ci is the pre-merge gate: vet, the full suite, race-detector runs of
 # the packages that share caches across goroutines (the search workers
 # and the perfmodel stage cache), a fuzz smoke over every corpus-seeded
-# fuzz target, and a one-iteration smoke of the search-throughput
-# benchmark so hot-path regressions fail loudly.
+# fuzz target, a one-iteration smoke of the search-throughput benchmark
+# so hot-path regressions fail loudly, a traced-search smoke (the
+# breakdown auditor fails the build on any resource-accounting
+# violation), and a short chaos run — which also audits every trial's
+# estimates.
 ci: build
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/core/... ./internal/perfmodel/...
 	$(MAKE) fuzz-smoke
 	$(GO) test -run xxx -bench BenchmarkSearchThroughput -benchtime 1x .
+	$(MAKE) trace-smoke
+	$(MAKE) chaos CHAOS_DURATION=10s
+
+# trace-smoke runs the observability target into a scratch directory:
+# it exercises the JSONL tracer, the metrics registry and the breakdown
+# auditor on a real search, exiting non-zero on any audit violation.
+trace-smoke:
+	$(GO) run ./cmd/acesobench -trace-iters 2 -tracefile /tmp/aceso_ci_trace.jsonl trace
 
 # fuzz-smoke runs each fuzz target for a few seconds. `go test -fuzz`
 # accepts one target per invocation, hence one line per target.

@@ -28,6 +28,7 @@ import (
 	"aceso/internal/core"
 	"aceso/internal/hardware"
 	"aceso/internal/model"
+	"aceso/internal/obs"
 	"aceso/internal/perfmodel"
 	"aceso/internal/pipesim"
 )
@@ -73,6 +74,17 @@ type (
 	FaultSpec = hardware.FaultSpec
 	// DeviceFault is one device's entry in a FaultSpec.
 	DeviceFault = hardware.DeviceFault
+	// Tracer receives structured search events (set Options.Tracer).
+	Tracer = obs.Tracer
+	// IterationEvent is one JSONL search-trace record.
+	IterationEvent = obs.IterationEvent
+	// JSONLTracer collects iteration events as deterministic JSON Lines.
+	JSONLTracer = obs.JSONLTracer
+	// Auditor asserts resource-accounting invariants on every estimate.
+	Auditor = obs.Auditor
+	// MetricsRegistry accumulates search counters/timers/histograms
+	// (set Options.Metrics); exportable as JSON or Prometheus text.
+	MetricsRegistry = obs.Registry
 )
 
 // Precision of a model's training arithmetic.
@@ -151,6 +163,22 @@ func ProjectConfig(g *Graph, old *Config, newDevices int) (*Config, error) {
 // WarmStart wraps a previous best configuration as a search
 // Initializer for a resized cluster.
 func WarmStart(prev *Config) Initializer { return core.WarmStart(prev) }
+
+// Observability constructors (DESIGN.md §5d).
+var (
+	// NewJSONLTracer returns a deterministic JSONL search-trace
+	// collector for Options.Tracer.
+	NewJSONLTracer = obs.NewJSONLTracer
+	// NewAuditor returns a breakdown auditor for Options.Tracer.
+	NewAuditor = obs.NewAuditor
+	// NewMetricsRegistry returns an empty registry for Options.Metrics.
+	NewMetricsRegistry = obs.NewRegistry
+	// MultiTracer fans events out to several tracers (nils dropped).
+	MultiTracer = obs.MultiTracer
+	// AuditEstimate checks one estimate's resource-accounting
+	// invariants, returning a description of each violation.
+	AuditEstimate = obs.AuditEstimate
+)
 
 // NewPerfModel builds a performance model with a fresh (deterministic,
 // seeded) profiling database for the given graph and cluster.

@@ -19,6 +19,13 @@
 // harness of internal/chaos for -chaos-duration (or -chaos-trials
 // trials), and exits non-zero if any trial panics, returns an invalid
 // plan, or leaks a non-finite score.
+//
+// The extra target "trace" (not part of "all") runs a fixed-iteration
+// search with the full observability stack attached: it writes the
+// deterministic JSONL iteration trace to -tracefile, a summary
+// (metrics snapshot, convergence curve, auditor tally) next to it as
+// BENCH_trace.json, and exits non-zero if the breakdown auditor finds
+// any resource-accounting violation.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"aceso/internal/chaos"
@@ -36,6 +44,7 @@ import (
 	"aceso/internal/exps"
 	"aceso/internal/hardware"
 	"aceso/internal/model"
+	"aceso/internal/obs"
 )
 
 // searchMeasurement is one timed run of the fixed-iteration search.
@@ -126,6 +135,101 @@ func emitSearchBench(path string, cur searchMeasurement) (searchBenchFile, error
 	return out, enc.Encode(out)
 }
 
+// tracePoint is one convergence-curve sample in BENCH_trace.json.
+type tracePoint struct {
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	Score          float64 `json:"score"`
+}
+
+// traceSummary is the BENCH_trace.json schema: everything the trace
+// run produced except the per-iteration JSONL stream itself. The
+// convergence samples carry wall-clock times, so this file — unlike
+// the JSONL trace — is not byte-identical across runs.
+type traceSummary struct {
+	Setting     string        `json:"setting"`
+	Iterations  int           `json:"iterations"`
+	Explored    int           `json:"explored"`
+	BestScore   float64       `json:"best_iter_time_seconds"`
+	Audited     int64         `json:"estimates_audited"`
+	Violations  []string      `json:"breakdown_violations,omitempty"`
+	Convergence []tracePoint  `json:"convergence"`
+	Metrics     *obs.Registry `json:"metrics"`
+}
+
+// runTrace executes the fixed-iteration observability run: the same
+// GPT-3 2.6B / 16-V100 setting as the search benchmark, with the JSONL
+// tracer, the metrics registry and the breakdown auditor all attached.
+func runTrace(traceFile, summaryFile string, iters int, seed int64, w io.Writer) error {
+	g, err := model.GPT3("2.6B")
+	if err != nil {
+		return err
+	}
+	cl := hardware.DGX1V100(2) // 16 V100s
+	jsonl := obs.NewJSONLTracer()
+	auditor := obs.NewAuditor()
+	reg := obs.NewRegistry()
+	res, err := core.Search(g, cl, core.Options{
+		TimeBudget:    time.Hour, // iteration-bounded, like the bench
+		MaxIterations: iters,
+		Seed:          seed,
+		CollectTrace:  true,
+		Tracer:        obs.MultiTracer(jsonl, auditor),
+		Metrics:       reg,
+	})
+	if err != nil {
+		return err
+	}
+
+	tf, err := os.Create(traceFile)
+	if err != nil {
+		return err
+	}
+	if _, err := jsonl.WriteTo(tf); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+
+	sum := traceSummary{
+		Setting:    fmt.Sprintf("GPT-3 2.6B on 16xV100 (DGX1V100(2)), MaxIterations=%d, Seed=%d", iters, seed),
+		Iterations: res.Iterations,
+		Explored:   res.Explored,
+		BestScore:  res.Best.Score,
+		Audited:    auditor.Checked(),
+		Violations: auditor.Violations(),
+		Metrics:    reg,
+	}
+	for _, p := range res.Trace.Convergence() {
+		sum.Convergence = append(sum.Convergence, tracePoint{
+			ElapsedSeconds: p.Elapsed.Seconds(),
+			Score:          p.Score,
+		})
+	}
+	sf, err := os.Create(summaryFile)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(sf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		sf.Close()
+		return err
+	}
+	if err := sf.Close(); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "trace: %d iterations, %d explored, best %.4fs, %d estimates audited\n",
+		res.Iterations, res.Explored, res.Best.Score, auditor.Checked())
+	fmt.Fprintf(w, "trace: events → %s, summary → %s\n", traceFile, summaryFile)
+	if err := auditor.Err(); err != nil {
+		return err
+	}
+	return nil
+}
+
 func main() {
 	budget := flag.Duration("budget", 2*time.Second, "per-search time budget (the paper used 200s)")
 	sizes := flag.Int("sizes", 5, "how many of the 5 model sizes to run (1-5)")
@@ -135,6 +239,8 @@ func main() {
 	benchReps := flag.Int("benchreps", 3, "repetitions of the search throughput benchmark")
 	chaosDur := flag.Duration("chaos-duration", 30*time.Second, "wall budget of the chaos target")
 	chaosTrials := flag.Int("chaos-trials", 0, "fixed trial count for the chaos target (0 = run until -chaos-duration)")
+	traceFile := flag.String("tracefile", "BENCH_trace.jsonl", "output path for the trace target's JSONL iteration trace")
+	traceIters := flag.Int("trace-iters", 4, "top-level iterations per stage count for the trace target")
 	flag.Parse()
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -312,6 +418,16 @@ func main() {
 			fail("cases", err)
 		}
 		exps.RenderCases(w, cases)
+		fmt.Fprintln(w)
+	}
+
+	if want["trace"] { // deliberately not part of "all"
+		summaryFile := strings.TrimSuffix(*traceFile, filepath.Ext(*traceFile)) + ".json"
+		fmt.Fprintf(w, "running traced search (%d iterations/stage-count, seed %d)...\n",
+			*traceIters, *seed)
+		if err := runTrace(*traceFile, summaryFile, *traceIters, *seed, w); err != nil {
+			fail("trace", err)
+		}
 		fmt.Fprintln(w)
 	}
 

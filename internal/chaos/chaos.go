@@ -24,6 +24,7 @@ import (
 	"aceso/internal/core"
 	"aceso/internal/hardware"
 	"aceso/internal/model"
+	"aceso/internal/obs"
 	"aceso/internal/perfmodel"
 )
 
@@ -45,11 +46,12 @@ type Options struct {
 const DefaultTrials = 64
 
 // Violation is one broken invariant: the search panicked, returned an
-// unvalidated plan, or let a non-finite value escape.
+// unvalidated plan, let a non-finite value escape, or produced an
+// estimate whose resource-accounting breakdown is inconsistent.
 type Violation struct {
 	Trial  int
 	Seed   int64  // per-trial seed: replays the exact trial
-	Kind   string // "panic" | "invalid-plan" | "non-finite" | "poison-accepted"
+	Kind   string // "panic" | "invalid-plan" | "non-finite" | "poison-accepted" | "breakdown"
 	Detail string
 }
 
@@ -158,10 +160,21 @@ func ReplayTrial(trial int, seed int64, rep *Report) (viol *Violation) {
 		cancel()
 	}
 
+	// The breakdown auditor rides along on every trial: hostile inputs
+	// that survive validation still have to produce estimates whose
+	// resource-accounting buckets are internally consistent — the
+	// invariant the observability layer exists to enforce.
+	auditor := obs.NewAuditor()
+	opts.Tracer = auditor
+
 	res, err := core.SearchContext(ctx, g, cl, opts)
 	if err != nil {
 		rep.TypedErrs++
 		return nil
+	}
+	if aerr := auditor.Err(); aerr != nil {
+		return &Violation{Trial: trial, Seed: seed, Kind: "breakdown",
+			Detail: aerr.Error()}
 	}
 	if res == nil || res.Best.Config == nil {
 		return &Violation{Trial: trial, Seed: seed, Kind: "invalid-plan",
@@ -206,10 +219,10 @@ func randomGraph(rng *rand.Rand) *model.Graph {
 	default: // sane synthetic model of random shape
 		ops := 1 + rng.Intn(24)
 		return model.Uniform(ops,
-			math.Pow(10, 6+3*rng.Float64()),  // 1e6 .. 1e9 FLOPs
-			math.Pow(10, 4+3*rng.Float64()),  // params
-			math.Pow(10, 3+2*rng.Float64()),  // activations
-			1<<rng.Intn(5))                   // batch 1..16
+			math.Pow(10, 6+3*rng.Float64()), // 1e6 .. 1e9 FLOPs
+			math.Pow(10, 4+3*rng.Float64()), // params
+			math.Pow(10, 3+2*rng.Float64()), // activations
+			1<<rng.Intn(5))                  // batch 1..16
 	}
 }
 
@@ -279,9 +292,9 @@ func hostileOptions(rng *rand.Rand) core.Options {
 		TimeBudget:     time.Duration(rng.Intn(80)+20) * time.Millisecond,
 		MaxIterations:  1 + rng.Intn(2),
 		Seed:           rng.Int63(),
-		MaxHops:        rng.Intn(12) - 2,          // includes invalid ≤ 0
-		BranchFactor:   rng.Intn(6) - 1,           // includes invalid ≤ 0
-		TopK:           rng.Intn(8) - 1,           // includes invalid ≤ 0
+		MaxHops:        rng.Intn(12) - 2, // includes invalid ≤ 0
+		BranchFactor:   rng.Intn(6) - 1,  // includes invalid ≤ 0
+		TopK:           rng.Intn(8) - 1,  // includes invalid ≤ 0
 		InitMicroBatch: pickInt(rng, -4, 0, 1, 2, 1024),
 	}
 	if rng.Intn(4) == 0 {

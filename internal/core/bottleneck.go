@@ -83,6 +83,28 @@ func Bottlenecks(est *perfmodel.Estimate, memCapacity float64) []Bottleneck {
 	return out
 }
 
+// StageProportions returns stage si's share of the cluster-wide
+// consumption of each resource — the proportions Heuristic-2 orders
+// primitives by (§3.2, Table 1). These are the figures the search
+// trace records per iteration, so a mis-booked bucket (the historical
+// reshard-into-TPComm bug) is visible as a skewed comm proportion.
+func StageProportions(est *perfmodel.Estimate, si int) (comp, comm, mem float64) {
+	if est == nil || si < 0 || si >= len(est.Stages) {
+		return 0, 0, 0
+	}
+	var totalComp, totalComm, totalMem float64
+	for i := range est.Stages {
+		s := &est.Stages[i]
+		totalComp += s.CompTime()
+		totalComm += s.CommTime(est.Microbatches)
+		totalMem += s.PeakMem
+	}
+	s := &est.Stages[si]
+	return proportion(s.CompTime(), totalComp),
+		proportion(s.CommTime(est.Microbatches), totalComm),
+		proportion(s.PeakMem, totalMem)
+}
+
 func proportion(part, total float64) float64 {
 	if total <= 0 {
 		return 0

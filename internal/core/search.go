@@ -13,6 +13,7 @@ import (
 	"aceso/internal/config"
 	"aceso/internal/hardware"
 	"aceso/internal/model"
+	"aceso/internal/obs"
 	"aceso/internal/perfmodel"
 )
 
@@ -69,6 +70,20 @@ type Options struct {
 	// CollectTrace records per-iteration statistics and the
 	// convergence curve (Exp#5–7).
 	CollectTrace bool
+	// Tracer receives structured observability events: one
+	// obs.IterationEvent per top-level iteration (bottleneck stage and
+	// resource proportions, accepted primitive, hops, backtracks,
+	// dedup hits, pool restarts) and one OnEstimate call per newly
+	// estimated configuration (the breakdown auditor's hook). nil —
+	// the default — disables tracing; the hot path then pays one
+	// pointer check per event site (DESIGN.md §5d).
+	Tracer obs.Tracer
+	// Metrics, when non-nil, accumulates search counters in the given
+	// registry: candidates estimated, dedup hits, primitives applied
+	// per kind, the multi-hop depth histogram, per-iteration timings,
+	// and the perfmodel stage-cache hit/miss snapshot. nil disables
+	// metric collection entirely.
+	Metrics *obs.Registry
 	// Model optionally supplies a pre-built performance model (shared
 	// profiling database); one is created when nil.
 	Model *perfmodel.Model
@@ -236,6 +251,7 @@ func SearchContext(ctx context.Context, g *model.Graph, cl hardware.Cluster, opt
 	}
 	outs := make([]workerOut, len(stageCounts))
 	memNorm := cl.MinDeviceMemory()
+	met := newSearchMeters(opts.Metrics)
 	var wg sync.WaitGroup
 	for wi, p := range stageCounts {
 		wg.Add(1)
@@ -270,12 +286,23 @@ func SearchContext(ctx context.Context, g *model.Graph, cl hardware.Cluster, opt
 				cache:    make(map[uint64]*perfmodel.Estimate),
 				rng:      rand.New(rand.NewSource(opts.Seed + int64(p)*7919)),
 				trace:    trace,
+				tracer:   opts.Tracer,
+				met:      met,
 			}
 			topK, iters, converged := s.run(init)
 			outs[wi] = workerOut{topK: topK, explored: s.explored, iterations: iters, converged: converged}
 		}(wi, p)
 	}
 	wg.Wait()
+
+	if opts.Metrics != nil {
+		// Mirror the performance model's own stage-cache counters into
+		// the registry. Set (not Add): a shared Model accumulates across
+		// searches and this snapshot reflects its lifetime totals.
+		hits, misses := pm.StageCacheStats()
+		opts.Metrics.Counter(obs.StageCacheHitsTotal).Set(int64(hits))
+		opts.Metrics.Counter(obs.StageCacheMissesTotal).Set(int64(misses))
+	}
 
 	res := &Result{Trace: trace}
 	var all []Candidate
@@ -321,6 +348,56 @@ func SearchContext(ctx context.Context, g *model.Graph, cl hardware.Cluster, opt
 	return res, nil
 }
 
+// searchMeters holds pre-resolved metric handles so the hot path pays
+// one atomic add per event instead of a registry lookup. Built once
+// per search when Options.Metrics is set; a nil *searchMeters disables
+// metering.
+type searchMeters struct {
+	reg        *obs.Registry
+	estimated  *obs.Counter
+	dedup      *obs.Counter
+	iterations *obs.Counter
+	restarts   *obs.Counter
+	prims      map[string]*obs.Counter
+	hopDepth   *obs.Histogram
+	iterTime   *obs.Timer
+}
+
+// newSearchMeters resolves the search's metrics in reg.
+func newSearchMeters(reg *obs.Registry) *searchMeters {
+	if reg == nil {
+		return nil
+	}
+	m := &searchMeters{
+		reg:        reg,
+		estimated:  reg.Counter(obs.CandidatesEstimatedTotal),
+		dedup:      reg.Counter(obs.DedupHitsTotal),
+		iterations: reg.Counter(obs.IterationsTotal),
+		restarts:   reg.Counter(obs.PoolRestartsTotal),
+		prims:      make(map[string]*obs.Counter),
+		hopDepth:   reg.Histogram(obs.MultiHopDepth, 1, 2, 3, 4, 5, 6, 7, 8),
+		iterTime:   reg.Timer(obs.IterationSeconds),
+	}
+	for _, tbl := range [][]Primitive{Table, ExtensionTable} {
+		for i := range tbl {
+			name := tbl[i].Name
+			m.prims[name] = reg.Counter(fmt.Sprintf("%s{primitive=%q}", obs.PrimitiveAppliedTotal, name))
+		}
+	}
+	return m
+}
+
+// prim returns the applied-candidates counter for a primitive name.
+// The map is read-only after newSearchMeters, so concurrent workers
+// share it without locking; a name outside the tables (impossible
+// today) still resolves through the registry's own lock.
+func (m *searchMeters) prim(name string) *obs.Counter {
+	if c, ok := m.prims[name]; ok {
+		return c
+	}
+	return m.reg.Counter(fmt.Sprintf("%s{primitive=%q}", obs.PrimitiveAppliedTotal, name))
+}
+
 // searcher is the per-stage-count search state.
 type searcher struct {
 	graph    *model.Graph
@@ -337,6 +414,17 @@ type searcher struct {
 	explored int
 	rng      *rand.Rand
 	trace    *Trace
+
+	// Observability (nil when disabled — every use is pointer-guarded
+	// so the tracing-off hot path pays only the nil checks).
+	tracer obs.Tracer
+	met    *searchMeters
+	// Per-top-level-iteration tallies, reset in run()'s loop and
+	// flushed into the IterationEvent. Plain ints: each searcher is
+	// single-goroutine.
+	itEstimated  int
+	itDedup      int
+	itBacktracks int
 }
 
 // expired reports whether the search must stop: the context was
@@ -364,6 +452,13 @@ func (s *searcher) estimate(cfg *config.Config) *perfmodel.Estimate {
 	e := s.pm.Estimate(cfg)
 	s.cache[h] = e
 	s.explored++
+	s.itEstimated++
+	if s.met != nil {
+		s.met.estimated.Inc()
+	}
+	if s.tracer != nil {
+		s.tracer.OnEstimate(cfg, e)
+	}
 	return e
 }
 
@@ -415,27 +510,38 @@ func (s *searcher) run(init *config.Config) ([]Candidate, int, bool) {
 
 	iters := 0
 	converged := false
+	observing := s.tracer != nil || s.met != nil
 	for !s.expired() {
 		if s.opts.MaxIterations > 0 && iters >= s.opts.MaxIterations {
 			converged = true
 			break
 		}
 		iters++
-		initScore := s.score(s.estimate(cur))
+		s.itEstimated, s.itDedup, s.itBacktracks = 0, 0, 0
+		var t0 time.Time
+		if s.met != nil {
+			t0 = time.Now()
+		}
+		curEst := s.estimate(cur)
+		initScore := s.score(curEst)
 
 		var found *config.Config
+		var prim string
 		hops := 0
 		tries := 0
-		bns := Bottlenecks(s.estimate(cur), s.cluster.MemoryBytes)
+		lastBN := -1
+		bns := Bottlenecks(curEst, s.cluster.MemoryBytes)
 		for _, bn := range bns {
 			tries++
-			found, hops = s.multiHop(cur, bn, 0, initScore)
+			lastBN = bn.Stage
+			found, hops, prim = s.multiHop(cur, bn, 0, initScore)
 			if found != nil || s.expired() {
 				break
 			}
 		}
 
-		if found != nil {
+		improved := found != nil
+		if improved {
 			if !s.opts.DisableFineTune {
 				if ft := s.fineTune(found); ft != nil {
 					found = ft
@@ -449,15 +555,27 @@ func (s *searcher) run(init *config.Config) ([]Candidate, int, bool) {
 				Hops:            hops,
 				Improved:        true,
 			})
-			continue
+		} else {
+			s.trace.addIteration(IterationTrace{
+				StageCount: init.NumStages(),
+				Improved:   false,
+			})
 		}
-		s.trace.addIteration(IterationTrace{
-			StageCount: init.NumStages(),
-			Improved:   false,
-		})
 		// No improvement reachable from cur: restart from the most
 		// promising unexplored configuration (Algorithm 1 line 13).
-		next := s.popBestUnexplored()
+		var next *config.Config
+		if !improved {
+			next = s.popBestUnexplored()
+		}
+
+		if observing {
+			s.observeIteration(init.NumStages(), iters, improved, lastBN,
+				curEst, prim, hops, tries, next != nil, topK, t0)
+		}
+
+		if improved {
+			continue
+		}
 		if next == nil {
 			converged = true // exhausted for this stage count
 			break
@@ -467,12 +585,53 @@ func (s *searcher) run(init *config.Config) ([]Candidate, int, bool) {
 	return topK, iters, converged
 }
 
+// observeIteration flushes one top-level iteration into the Tracer and
+// metrics registry. Kept out of run()'s loop body so the disabled path
+// stays a single branch.
+func (s *searcher) observeIteration(stageCount, iter int, improved bool, bnStage int,
+	curEst *perfmodel.Estimate, prim string, hops, tries int, restarted bool,
+	topK []Candidate, t0 time.Time) {
+	if s.met != nil {
+		s.met.iterations.Inc()
+		s.met.iterTime.Observe(time.Since(t0))
+		if restarted {
+			s.met.restarts.Inc()
+		}
+		if improved {
+			s.met.hopDepth.Observe(float64(hops))
+		}
+	}
+	if s.tracer == nil {
+		return
+	}
+	ev := obs.IterationEvent{
+		StageCount:      stageCount,
+		Iter:            iter,
+		Improved:        improved,
+		BottleneckStage: bnStage,
+		Primitive:       prim,
+		Hops:            hops,
+		BottleneckTries: tries,
+		Backtracks:      s.itBacktracks,
+		DedupHits:       s.itDedup,
+		Estimated:       s.itEstimated,
+		PoolRestart:     restarted,
+		PoolSize:        len(s.pool),
+	}
+	ev.CompProportion, ev.CommProportion, ev.MemProportion = StageProportions(curEst, bnStage)
+	if len(topK) > 0 {
+		ev.BestScore = topK[0].Score
+	}
+	s.tracer.OnIteration(ev)
+}
+
 // multiHop is Algorithm 2: explore primitive groups for the bottleneck
 // in Heuristic-2 order; return the first configuration scoring better
-// than initScore, recursing up to MaxHops.
-func (s *searcher) multiHop(cfg *config.Config, bn Bottleneck, hop int, initScore float64) (*config.Config, int) {
+// than initScore, recursing up to MaxHops, along with the name of the
+// primitive that produced it (the final hop's primitive).
+func (s *searcher) multiHop(cfg *config.Config, bn Bottleneck, hop int, initScore float64) (*config.Config, int, string) {
 	if hop >= s.opts.MaxHops || s.expired() {
-		return nil, 0
+		return nil, 0, ""
 	}
 	resources := bn.Resources
 	if s.opts.DisableHeuristic2 {
@@ -494,12 +653,16 @@ func (s *searcher) multiHop(cfg *config.Config, bn Bottleneck, hop int, initScor
 		}
 		var cands []Candidate
 		for _, prim := range prims {
+			var pc *obs.Counter
+			if s.met != nil {
+				pc = s.met.prim(prim.Name)
+			}
 			for _, c := range prim.apply(s, cfg, bn.Stage) {
 				// A deadline or cancellation that fires mid-hop must
 				// abort promptly, not after this primitive's whole
 				// candidate batch has been estimated.
 				if s.expired() {
-					return nil, 0
+					return nil, 0, ""
 				}
 				if c == nil {
 					continue
@@ -510,16 +673,23 @@ func (s *searcher) multiHop(cfg *config.Config, bn Bottleneck, hop int, initScor
 				c = s.attachRecompute(c)
 				h := c.Hash()
 				if s.visited[h] {
+					s.itDedup++
+					if s.met != nil {
+						s.met.dedup.Inc()
+					}
 					continue
 				}
 				s.visited[h] = true
+				if pc != nil {
+					pc.Inc()
+				}
 				e := s.estimate(c)
 				sc := s.score(e)
 				if e.Feasible {
 					s.trace.observe(sc)
 				}
 				if sc < initScore {
-					return c, hop + 1
+					return c, hop + 1, prim.Name
 				}
 				cand := Candidate{Config: c, Estimate: e, Score: sc, hash: h}
 				s.pool[h] = &cand
@@ -529,7 +699,7 @@ func (s *searcher) multiHop(cfg *config.Config, bn Bottleneck, hop int, initScor
 				cands = append(cands, cand)
 			}
 			if s.expired() {
-				return nil, 0
+				return nil, 0, ""
 			}
 		}
 		// Heuristic-2: best estimated performance first.
@@ -551,15 +721,18 @@ func (s *searcher) multiHop(cfg *config.Config, bn Bottleneck, hop int, initScor
 			if len(nb) == 0 {
 				continue
 			}
-			if r, h := s.multiHop(cands[i].Config, nb[0], hop+1, initScore); r != nil {
-				return r, h
+			if r, h, pn := s.multiHop(cands[i].Config, nb[0], hop+1, initScore); r != nil {
+				return r, h, pn
 			}
 			if s.expired() {
-				return nil, 0
+				return nil, 0, ""
 			}
+			// The branch was explored to exhaustion without beating
+			// initScore — the search backtracks to the next candidate.
+			s.itBacktracks++
 		}
 	}
-	return nil, 0
+	return nil, 0, ""
 }
 
 // attachRecompute implements the §4.3 combination "attach inc/dec-rc

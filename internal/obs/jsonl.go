@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+
+	"aceso/internal/config"
+	"aceso/internal/perfmodel"
+)
+
+// JSONLTracer collects iteration events and renders them as JSON Lines
+// in a deterministic order. Events arrive from the per-pipeline-depth
+// workers in nondeterministic interleavings, so the tracer buffers
+// them and WriteTo sorts by (stage count, iteration index) — for a
+// fixed seed and iteration budget the emitted bytes are identical
+// across runs (the golden determinism test pins this).
+type JSONLTracer struct {
+	mu     sync.Mutex
+	events []IterationEvent
+}
+
+// NewJSONLTracer returns an empty JSONL trace collector.
+func NewJSONLTracer() *JSONLTracer { return &JSONLTracer{} }
+
+// OnIteration implements Tracer.
+func (t *JSONLTracer) OnIteration(ev IterationEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// OnEstimate implements Tracer. Per-estimate events are not logged —
+// a search estimates tens of thousands of configurations and the
+// trace is an iteration-level artifact; the Auditor is the
+// per-estimate consumer.
+func (t *JSONLTracer) OnEstimate(*config.Config, *perfmodel.Estimate) {}
+
+// Events returns the collected events in the deterministic emission
+// order (stage count, then iteration index).
+func (t *JSONLTracer) Events() []IterationEvent {
+	t.mu.Lock()
+	out := make([]IterationEvent, len(t.events))
+	copy(out, t.events)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].StageCount != out[b].StageCount {
+			return out[a].StageCount < out[b].StageCount
+		}
+		return out[a].Iter < out[b].Iter
+	})
+	return out
+}
+
+// WriteTo emits the trace as JSON Lines: one IterationEvent object per
+// line, deterministically ordered.
+func (t *JSONLTracer) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	enc := json.NewEncoder(cw) // Encode appends the newline JSONL wants
+	for _, ev := range t.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+// countWriter counts bytes for the io.WriterTo contract.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

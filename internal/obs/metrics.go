@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metric names used by the search plumbing (core.SearchContext). The
+// `{...}` suffix convention carries Prometheus labels through the
+// registry: the writer emits names verbatim, so a name like
+// PrimitiveAppliedTotal + `{primitive="inc-dp"}` renders as a labeled
+// series.
+const (
+	CandidatesEstimatedTotal = "aceso_search_candidates_estimated_total"
+	DedupHitsTotal           = "aceso_search_dedup_hits_total"
+	IterationsTotal          = "aceso_search_iterations_total"
+	PoolRestartsTotal        = "aceso_search_pool_restarts_total"
+	PrimitiveAppliedTotal    = "aceso_search_primitive_applied_total"
+	StageCacheHitsTotal      = "aceso_perfmodel_stage_cache_hits_total"
+	StageCacheMissesTotal    = "aceso_perfmodel_stage_cache_misses_total"
+	MultiHopDepth            = "aceso_search_multihop_depth"
+	// IterationSeconds is a Timer; the snapshot suffixes it with
+	// _seconds_total and _count.
+	IterationSeconds = "aceso_search_iteration"
+)
+
+// Counter is a monotonic (or Set-overwritten snapshot) integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Set overwrites the value — for snapshot-style gauges mirrored from
+// another subsystem's own counters (the perfmodel stage cache).
+func (c *Counter) Set(n int64) { c.v.Store(n) }
+
+// Value returns the current value.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Timer accumulates durations: total time and observation count.
+type Timer struct {
+	totalNS atomic.Int64
+	count   atomic.Int64
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	t.totalNS.Add(int64(d))
+	t.count.Add(1)
+}
+
+// Total returns the accumulated duration.
+func (t *Timer) Total() time.Duration { return time.Duration(t.totalNS.Load()) }
+
+// Count returns the number of observations.
+func (t *Timer) Count() int64 { return t.count.Load() }
+
+// Histogram counts observations into cumulative ≤-bound buckets
+// (Prometheus semantics), plus a +Inf overflow, a sum and a count.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds
+	buckets []atomic.Int64
+	sum     atomic.Int64 // sum scaled by histScale for atomic storage
+	count   atomic.Int64
+}
+
+// histScale stores float sums in an atomic int64 with micro precision
+// — plenty for hop depths and second-scale timings.
+const histScale = 1e6
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.buckets[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	h.sum.Add(int64(v * histScale))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Registry is a named collection of counters, timers and histograms.
+// Metric creation takes a lock; updates are lock-free atomics, so a
+// hot path that pre-resolves its metric pointers once pays only an
+// atomic add per event.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	timers   map[string]*Timer
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		timers:   make(map[string]*Timer),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Timer returns the named timer, creating it on first use.
+func (r *Registry) Timer(name string) *Timer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Histogram returns the named histogram, creating it on first use with
+// the given ascending upper bounds (an implicit +Inf bucket is the
+// count minus the explicit buckets). Bounds are fixed at creation;
+// later calls ignore the argument.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{bounds: append([]float64(nil), bounds...)}
+		h.buckets = make([]atomic.Int64, len(h.bounds))
+		r.hists[name] = h
+	}
+	return h
+}
+
+// snapshot renders every metric into a flat, sorted name→value map.
+func (r *Registry) snapshot() (names []string, vals map[string]float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	vals = make(map[string]float64)
+	for n, c := range r.counters {
+		vals[n] = float64(c.Value())
+	}
+	for n, t := range r.timers {
+		vals[n+"_seconds_total"] = t.Total().Seconds()
+		vals[n+"_count"] = float64(t.Count())
+	}
+	for n, h := range r.hists {
+		cum := int64(0)
+		for i := range h.bounds {
+			cum += h.buckets[i].Load()
+			vals[fmt.Sprintf("%s_bucket{le=\"%g\"}", n, h.bounds[i])] = float64(cum)
+		}
+		vals[n+`_bucket{le="+Inf"}`] = float64(h.count.Load())
+		vals[n+"_sum"] = float64(h.sum.Load()) / histScale
+		vals[n+"_count"] = float64(h.count.Load())
+	}
+	names = make([]string, 0, len(vals))
+	for n := range vals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, vals
+}
+
+// MarshalJSON renders the registry as a flat JSON object with sorted
+// keys, so snapshots embed directly into larger reports
+// (BENCH_trace.json) and diff cleanly.
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	names, vals := r.snapshot()
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		key, _ := json.Marshal(n)
+		b.Write(key)
+		b.WriteByte(':')
+		fmt.Fprintf(&b, "%g", vals[n])
+	}
+	b.WriteByte('}')
+	return []byte(b.String()), nil
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	raw, err := r.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, raw, "", "  "); err != nil {
+		return err
+	}
+	buf.WriteByte('\n')
+	_, err = w.Write(buf.Bytes())
+	return err
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text
+// exposition format (counters and the flattened timer/histogram series
+// all typed as counters — they are cumulative).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	names, vals := r.snapshot()
+	seen := make(map[string]bool)
+	for _, n := range names {
+		base := n
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		if !seen[base] {
+			seen[base] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", base); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %g\n", n, vals[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

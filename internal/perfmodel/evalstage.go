@@ -58,6 +58,7 @@ func (m *Model) ComposePipeline(stages []StageMetrics, n int) *Estimate {
 	}
 	for i := range est.Stages {
 		sm := &est.Stages[i]
+		est.Devices += sm.Devices
 		if sm.CapMem == 0 {
 			sm.CapMem = m.Cluster.MemoryBytes
 		}

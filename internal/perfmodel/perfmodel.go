@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"aceso/internal/collective"
 	"aceso/internal/config"
@@ -53,11 +54,18 @@ const actStashFactor = 2.5
 // stage, per device (stages are internally symmetric; §3.1).
 type StageMetrics struct {
 	// Per-microbatch times (seconds).
-	FwdTime float64 // forward compute + tp collectives + boundary recv
-	BwdTime float64 // backward compute + tp collectives + recompute + boundary send
+	FwdTime float64 // forward compute + collectives + boundary recv
+	BwdTime float64 // backward compute + collectives + recompute + boundary send
 	TPComm  float64 // tensor-parallel collective share of Fwd+Bwd
 	P2P     float64 // stage-boundary share of Fwd+Bwd
 	Recomp  float64 // recomputation share of Bwd
+	// ReshardComm is the data-parallel resample traffic share of
+	// Fwd+Bwd: when a stage changes its dp degree mid-stage, samples
+	// redistribute across the whole stage group. It is data-parallel
+	// reshard traffic, not a tensor-parallel collective, so it gets its
+	// own bucket (booking it into TPComm would distort the
+	// Heuristic-2 resource proportions).
+	ReshardComm float64
 
 	// Per-iteration times.
 	DPSync    float64 // gradient all-reduce across data-parallel groups
@@ -75,17 +83,23 @@ type StageMetrics struct {
 	// when a fault spec derates a device in the stage's range). Filled
 	// by Estimate, not cached with the stage metrics.
 	CapMem float64
+
+	// Devices is the stage's device count, copied from the evaluated
+	// stage so an Estimate knows how many devices its configuration
+	// actually spans (configurations from shrink/projection paths may
+	// span less than the full cluster).
+	Devices int
 }
 
 // CompTime returns the pure-compute share of one microbatch.
 func (s *StageMetrics) CompTime() float64 {
-	return s.FwdTime + s.BwdTime - s.TPComm - s.P2P - s.Recomp
+	return s.FwdTime + s.BwdTime - s.TPComm - s.P2P - s.Recomp - s.ReshardComm
 }
 
 // CommTime returns the communication share of one microbatch,
 // including the per-microbatch amortization of the gradient sync.
 func (s *StageMetrics) CommTime(microbatches int) float64 {
-	t := s.TPComm + s.P2P
+	t := s.TPComm + s.P2P + s.ReshardComm
 	if microbatches > 0 {
 		t += s.DPSync / float64(microbatches)
 	}
@@ -101,6 +115,10 @@ type Estimate struct {
 	OOMStage int     // index of worst over-memory stage, -1 if feasible
 
 	Microbatches int
+	// Devices is the summed device count of the evaluated stages — the
+	// devices the configuration actually spans, which may be less than
+	// the cluster total (elastic shrink/projection paths).
+	Devices int
 }
 
 // Throughput returns samples/second (0 for infeasible configs).
@@ -145,6 +163,12 @@ type Model struct {
 
 	scmu   sync.RWMutex
 	scache map[stageKey]StageMetrics
+
+	// Cache effectiveness counters, exposed through StageCacheStats for
+	// the observability layer (internal/obs). Always on: two atomic
+	// adds are noise next to the map+lock they instrument.
+	scHits   atomic.Uint64
+	scMisses atomic.Uint64
 }
 
 // New builds a performance model backed by a profiler database.
@@ -164,6 +188,13 @@ func (m *Model) StageCacheEntries() int {
 	return len(m.scache)
 }
 
+// StageCacheStats returns the cumulative stage-cache hit and miss
+// counts over the model's lifetime (both zero while DisableStageCache
+// bypasses the cache).
+func (m *Model) StageCacheStats() (hits, misses uint64) {
+	return m.scHits.Load(), m.scMisses.Load()
+}
+
 // stageMetrics returns the metrics for st under the given pipeline
 // context, consulting the shared memo keyed by the stage's sub-hash.
 // An Estimate of a Clone-plus-one-mutation neighbor therefore
@@ -177,8 +208,10 @@ func (m *Model) stageMetrics(st *config.Stage, microBatch, firstDev, inflight, p
 	sm, ok := m.scache[key]
 	m.scmu.RUnlock()
 	if ok {
+		m.scHits.Add(1)
 		return sm
 	}
+	m.scMisses.Add(1)
 	sm = m.evalStage(st, microBatch, firstDev, inflight, prevDevices)
 	m.scmu.Lock()
 	if m.scache == nil || len(m.scache) >= stageCacheCap {
@@ -226,6 +259,7 @@ func (m *Model) Estimate(cfg *config.Config) *Estimate {
 		est.Stages[si] = m.stageMetrics(st, cfg.MicroBatch, firstDev, inflight, prevDevices)
 		cap := m.Cluster.RangeMemory(firstDev, st.Devices)
 		firstDev += st.Devices
+		est.Devices += st.Devices
 		sm := &est.Stages[si]
 		sm.CapMem = cap
 		if sm.PeakMem > cap {
@@ -304,13 +338,15 @@ func (m *Model) evalStage(st *config.Stage, microBatch, firstDev, inflight, prev
 					sm.TPComm += 2 * t
 				}
 			}
-			// Changing the dp degree mid-stage redistributes samples.
+			// Changing the dp degree mid-stage redistributes samples
+			// across the whole stage group. This is data-parallel
+			// reshard traffic, not a tensor-parallel collective.
 			if prevDP != 0 && set.DP != prevDP {
 				t := m.Prof.AllGather(prevActBytes*float64(microBatch)*bpe/float64(st.Devices), st.Devices,
 					collective.PlacementFor(m.Cluster, firstDev, st.Devices))
 				sm.FwdTime += t
 				sm.BwdTime += t
-				sm.TPComm += 2 * t
+				sm.ReshardComm += 2 * t
 			}
 
 			fwd := m.Prof.OpTime(op, set.TP, set.Dim, samples, shards, false, prec) / derate
@@ -415,6 +451,7 @@ func (m *Model) evalStage(st *config.Stage, microBatch, firstDev, inflight, prev
 	}
 
 	sm.PeakMem = sm.ParamMem + sm.OptMem + sm.ActPerMB*float64(inflight) + sm.ExtraMem
+	sm.Devices = st.Devices
 	return sm
 }
 
@@ -473,6 +510,8 @@ func ValidateEstimate(e *Estimate) error {
 			v    float64
 		}{
 			{"FwdTime", s.FwdTime}, {"BwdTime", s.BwdTime}, {"StageTime", s.StageTime},
+			{"TPComm", s.TPComm}, {"P2P", s.P2P}, {"Recomp", s.Recomp},
+			{"ReshardComm", s.ReshardComm},
 			{"DPSync", s.DPSync}, {"ParamMem", s.ParamMem}, {"OptMem", s.OptMem},
 			{"ActPerMB", s.ActPerMB}, {"ExtraMem", s.ExtraMem}, {"PeakMem", s.PeakMem},
 		} {
@@ -508,9 +547,14 @@ func (m *Model) EffectiveTFLOPS(est *Estimate) float64 {
 		flops += o.FwdFLOPs * (1 + o.BwdFLOPsFactor)
 	}
 	flops *= float64(m.Graph.GlobalBatch)
-	devices := 0
-	// All estimates in this repo are produced for configurations that
-	// span the full cluster; recover the device count from the model.
-	devices = m.Cluster.TotalDevices()
+	// Per-GPU means per GPU the configuration actually uses: elastic
+	// shrink/projection paths produce estimates spanning less than the
+	// full cluster, and dividing by the cluster total would understate
+	// their efficiency. Fall back to the cluster only for estimates
+	// built before Devices was recorded (hand-assembled metrics).
+	devices := est.Devices
+	if devices <= 0 {
+		devices = m.Cluster.TotalDevices()
+	}
 	return flops / est.IterTime / float64(devices) / 1e12
 }

@@ -252,7 +252,7 @@ func TestCompCommDecomposition(t *testing.T) {
 		if s.CommTime(e.Microbatches) < 0 {
 			t.Errorf("stage %d CommTime negative", i)
 		}
-		total := s.CompTime() + s.TPComm + s.P2P + s.Recomp
+		total := s.CompTime() + s.TPComm + s.P2P + s.Recomp + s.ReshardComm
 		if diff := total/(s.FwdTime+s.BwdTime) - 1; diff > 1e-9 || diff < -1e-9 {
 			t.Errorf("stage %d decomposition does not add up", i)
 		}

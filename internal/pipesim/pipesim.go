@@ -234,6 +234,11 @@ func SimulateSchedule(pm *perfmodel.Model, cfg *config.Config, seed int64, sched
 	for i := 0; i < p; i++ {
 		t := stageFree[i] + est.Stages[i].DPSync
 		res.StageTime[i] = t
+		// The gradient all-reduce occupies the stage's devices just like
+		// compute does: it extends StageTime, so it must count as busy
+		// time too, or every dp>1 stage reads as artificially idle and
+		// BubbleFraction overstates pipeline bubbles.
+		busy[i] += est.Stages[i].DPSync
 		if t > res.IterTime {
 			res.IterTime = t
 		}

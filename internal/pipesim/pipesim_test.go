@@ -252,6 +252,82 @@ func TestBusyFractions(t *testing.T) {
 	}
 }
 
+func TestDPSyncCountsAsBusy(t *testing.T) {
+	// The gradient all-reduce extends StageTime, so it must count as
+	// busy time too. The historical bug divided compute-only busy time
+	// by a DPSync-inclusive makespan, deflating every dp>1 stage's busy
+	// fraction and inflating BubbleFraction.
+	g, _ := model.GPT3("350M")
+	pm, c := setup(t, g, 4, 1, 2)
+	// Balanced starts at full TP; flip to tp2·dp2 so the stage runs a
+	// gradient all-reduce (DPSync > 0).
+	for j := range c.Stages[0].Ops {
+		c.Stages[0].Ops[j] = config.OpSetting{TP: 2, DP: 2, Dim: 0}
+	}
+	if err := c.Validate(g, 4); err != nil {
+		t.Fatal(err)
+	}
+	est := pm.Estimate(c)
+	if est.Stages[0].DPSync <= 0 {
+		t.Fatal("setup needs a dp-synchronizing stage")
+	}
+	r, err := Simulate(pm, c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single stage is never dependency-blocked: it is busy for the
+	// entire makespan, DPSync tail included.
+	if r.StageBusy[0] < 0.999 {
+		t.Errorf("1-stage busy fraction = %v, want ≈1 (DPSync not counted as busy?)", r.StageBusy[0])
+	}
+	// And in a deep pipeline, every stage's busy fraction covers at
+	// least its own DPSync share of the makespan.
+	pm4, c4 := setup(t, g, 8, 4, 2)
+	est4 := pm4.Estimate(c4)
+	r4, err := Simulate(pm4, c4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range r4.StageBusy {
+		if share := est4.Stages[i].DPSync / r4.IterTime; b < share {
+			t.Errorf("stage %d busy %v below its DPSync share %v", i, b, share)
+		}
+	}
+}
+
+// Property: GPipe's peak memory is never below 1F1B's — it stashes a
+// superset of the microbatches on every stage (equality only when one
+// microbatch makes the schedules coincide).
+func TestGPipePeakMemAtLeast1F1B(t *testing.T) {
+	g, _ := model.GPT3("350M")
+	pm := perfmodel.New(g, hardware.DGX1V100(1), 1)
+	f := func(stRaw, mbsRaw uint8, seed int16) bool {
+		stages := 1 << (stRaw % 4)
+		mbs := 1 << (mbsRaw % 4)
+		c, err := config.Balanced(g, 8, stages, mbs)
+		if err != nil {
+			return true
+		}
+		a, err := Simulate(pm, c, int64(seed))
+		if err != nil {
+			return false
+		}
+		b, err := SimulateSchedule(pm, c, int64(seed), GPipe)
+		if err != nil {
+			return false
+		}
+		for i := range a.PeakInflight {
+			if b.PeakInflight[i] < a.PeakInflight[i] {
+				return false
+			}
+		}
+		return b.PeakMem >= a.PeakMem
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
 func mustCfg(t *testing.T, g *model.Graph, devices, stages, mbs int) *config.Config {
 	t.Helper()
 	c, err := config.Balanced(g, devices, stages, mbs)
