@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test ci bench-search chaos fuzz-smoke trace-smoke
+.PHONY: build test ci bench-search chaos fuzz-smoke trace-smoke diff-smoke
 
 build:
 	$(GO) build ./...
@@ -14,8 +14,10 @@ test:
 # fuzz target, a one-iteration smoke of the search-throughput benchmark
 # so hot-path regressions fail loudly, a traced-search smoke (the
 # breakdown auditor fails the build on any resource-accounting
-# violation), and a short chaos run — which also audits every trial's
-# estimates.
+# violation), a short chaos run — which also audits every trial's
+# estimates — and the differential model-vs-simulator smoke (5k
+# effects-off tuples; any Eq.1/Eq.2 invariant violation fails the build
+# and leaves a shrunken repro JSON behind).
 ci: build
 	$(GO) vet ./...
 	$(GO) test ./...
@@ -24,12 +26,23 @@ ci: build
 	$(GO) test -run xxx -bench BenchmarkSearchThroughput -benchtime 1x .
 	$(MAKE) trace-smoke
 	$(MAKE) chaos CHAOS_DURATION=10s
+	$(MAKE) diff-smoke
 
 # trace-smoke runs the observability target into a scratch directory:
 # it exercises the JSONL tracer, the metrics registry and the breakdown
 # auditor on a real search, exiting non-zero on any audit violation.
 trace-smoke:
 	$(GO) run ./cmd/acesobench -trace-iters 2 -tracefile /tmp/aceso_ci_trace.jsonl trace
+
+# diff-smoke cross-checks the performance model against the simulator
+# in model-faithful mode (internal/diffcheck) on DIFF_TRIALS randomized
+# tuples: in-flight counts vs Eq.1, term-for-term memory composition,
+# per-stage OOM verdicts, GPipe ≥ 1F1B memory, and the signed
+# iteration-time band. Violations shrink to BENCH_diff_repro_*.json and
+# fail the build.
+DIFF_TRIALS ?= 5000
+diff-smoke:
+	$(GO) run ./cmd/acesobench -diff-trials $(DIFF_TRIALS) -difffile /tmp/aceso_ci_diff.json diff
 
 # fuzz-smoke runs each fuzz target for a few seconds. `go test -fuzz`
 # accepts one target per invocation, hence one line per target.

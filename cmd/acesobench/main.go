@@ -20,6 +20,13 @@
 // trials), and exits non-zero if any trial panics, returns an invalid
 // plan, or leaks a non-finite score.
 //
+// The extra target "diff" (not part of "all") runs the differential
+// model-vs-simulator validation of internal/diffcheck for -diff-trials
+// randomized tuples (twice with -diff-effects-on: once per mode),
+// writes BENCH_diff.json (trials, violations, signed-band percentiles,
+// metrics) plus one BENCH_diff_repro_NNN.json per shrunken violation,
+// and exits non-zero on any invariant violation.
+//
 // The extra target "trace" (not part of "all") runs a fixed-iteration
 // search with the full observability stack attached: it writes the
 // deterministic JSONL iteration trace to -tracefile, a summary
@@ -41,6 +48,7 @@ import (
 
 	"aceso/internal/chaos"
 	"aceso/internal/core"
+	"aceso/internal/diffcheck"
 	"aceso/internal/exps"
 	"aceso/internal/hardware"
 	"aceso/internal/model"
@@ -230,6 +238,75 @@ func runTrace(traceFile, summaryFile string, iters int, seed int64, w io.Writer)
 	return nil
 }
 
+// diffBenchFile is the BENCH_diff.json schema: one report per checked
+// mode, the metrics snapshot, and pointers to any repro files written
+// alongside.
+type diffBenchFile struct {
+	Setting    string              `json:"setting"`
+	Reports    []*diffcheck.Report `json:"reports"`
+	ReproFiles []string            `json:"repro_files,omitempty"`
+	Metrics    *obs.Registry       `json:"metrics"`
+}
+
+// runDiff executes the differential validation target: an effects-off
+// run (hard invariants), optionally an effects-on run (calibration
+// band), BENCH_diff.json, and one repro JSON per shrunken violation.
+// The returned violation count drives the process exit code.
+func runDiff(outFile string, trials int, seed int64, effectsOn bool, w io.Writer) (int, error) {
+	reg := obs.NewRegistry()
+	modes := []bool{false}
+	if effectsOn {
+		modes = append(modes, true)
+	}
+	out := diffBenchFile{
+		Setting: fmt.Sprintf("randomized model-vs-simulator tuples, %d trials/mode, seed %d", trials, seed),
+		Metrics: reg,
+	}
+	violations := 0
+	for _, on := range modes {
+		rep := diffcheck.Run(diffcheck.Options{
+			Trials:    trials,
+			Seed:      seed,
+			EffectsOn: on,
+			Metrics:   reg,
+			Log: func(format string, args ...any) {
+				fmt.Fprintf(w, format+"\n", args...)
+			},
+		})
+		fmt.Fprint(w, rep.Summary())
+		out.Reports = append(out.Reports, rep)
+		for _, v := range rep.Violations {
+			name := fmt.Sprintf("%s_repro_%03d.json",
+				strings.TrimSuffix(outFile, filepath.Ext(outFile)), violations)
+			violations++
+			raw, err := json.MarshalIndent(v, "", "  ")
+			if err != nil {
+				return violations, err
+			}
+			if err := os.WriteFile(name, append(raw, '\n'), 0o644); err != nil {
+				return violations, err
+			}
+			out.ReproFiles = append(out.ReproFiles, name)
+			fmt.Fprintf(w, "diff: wrote shrunken repro → %s\n", name)
+		}
+	}
+	f, err := os.Create(outFile)
+	if err != nil {
+		return violations, err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return violations, err
+	}
+	if err := f.Close(); err != nil {
+		return violations, err
+	}
+	fmt.Fprintf(w, "diff: report → %s\n", outFile)
+	return violations, nil
+}
+
 func main() {
 	budget := flag.Duration("budget", 2*time.Second, "per-search time budget (the paper used 200s)")
 	sizes := flag.Int("sizes", 5, "how many of the 5 model sizes to run (1-5)")
@@ -241,6 +318,9 @@ func main() {
 	chaosTrials := flag.Int("chaos-trials", 0, "fixed trial count for the chaos target (0 = run until -chaos-duration)")
 	traceFile := flag.String("tracefile", "BENCH_trace.jsonl", "output path for the trace target's JSONL iteration trace")
 	traceIters := flag.Int("trace-iters", 4, "top-level iterations per stage count for the trace target")
+	diffFile := flag.String("difffile", "BENCH_diff.json", "output path for the diff target's report")
+	diffTrials := flag.Int("diff-trials", diffcheck.DefaultTrials, "randomized tuples per mode for the diff target")
+	diffEffectsOn := flag.Bool("diff-effects-on", false, "also run the diff target's effects-on calibration pass")
 	flag.Parse()
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -427,6 +507,19 @@ func main() {
 			*traceIters, *seed)
 		if err := runTrace(*traceFile, summaryFile, *traceIters, *seed, w); err != nil {
 			fail("trace", err)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if want["diff"] { // deliberately not part of "all"
+		fmt.Fprintf(w, "running differential validation (%d trials/mode, seed %d, effects-on pass: %v)...\n",
+			*diffTrials, *seed, *diffEffectsOn)
+		violations, err := runDiff(*diffFile, *diffTrials, *seed, *diffEffectsOn, w)
+		if err != nil {
+			fail("diff", err)
+		}
+		if violations > 0 {
+			fail("diff", fmt.Errorf("%d invariant violations (repro files written)", violations))
 		}
 		fmt.Fprintln(w)
 	}

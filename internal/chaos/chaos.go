@@ -252,6 +252,44 @@ func randomCluster(rng *rand.Rand) (cl hardware.Cluster, degraded bool) {
 	return deg, true
 }
 
+// RandomValidFaultSpec draws a fault spec that Cluster.Degrade is
+// guaranteed to accept: every derating is in its documented range and
+// at least one device always survives. The differential harness
+// (internal/diffcheck) uses it so its degraded-cluster tuples exercise
+// fault-derated capacity without tripping input validation — unlike
+// randomFaultSpec below, which is deliberately hostile.
+func RandomValidFaultSpec(rng *rand.Rand, devices int) hardware.FaultSpec {
+	var spec hardware.FaultSpec
+	dead := 0
+	for d := 0; d < devices; d++ {
+		if rng.Intn(3) != 0 {
+			continue
+		}
+		f := hardware.DeviceFault{Device: d, FLOPSScale: 1, MemScale: 1}
+		switch rng.Intn(4) {
+		case 0:
+			// Never kill the last survivor.
+			if dead+1 < devices {
+				f.Dead = true
+				dead++
+			}
+		case 1:
+			f.FLOPSScale = 0.25 + 0.75*rng.Float64()
+		case 2:
+			f.MemScale = 0.25 + 0.75*rng.Float64()
+		case 3:
+			f.FLOPSScale = 0.25 + 0.75*rng.Float64()
+			f.MemScale = 0.25 + 0.75*rng.Float64()
+		}
+		spec.Devices = append(spec.Devices, f)
+	}
+	if rng.Intn(3) == 0 {
+		spec.InterBWScale = pick(rng, 0.25, 0.5, 1)
+		spec.InterLatScale = pick(rng, 1, 2, 8)
+	}
+	return spec
+}
+
 // randomFaultSpec fuzzes deratings; roughly a third of the generated
 // entries are invalid on purpose.
 func randomFaultSpec(rng *rand.Rand, devices int) hardware.FaultSpec {

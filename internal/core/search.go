@@ -24,9 +24,12 @@ const infeasibleScore = 1e9
 
 // poolCap bounds the unexplored-configuration pool: long searches
 // (the paper runs 200 s) would otherwise retain every candidate ever
-// estimated. When the pool doubles the cap it is pruned back to the
-// best poolCap entries — the restart heuristic only ever wants the
-// best few anyway.
+// estimated. When the pool exceeds the cap it is pruned back to the
+// best poolCap/2 entries — half the cap of insert headroom before the
+// next prune, and the restart heuristic only ever wants the best few
+// anyway. (Historically the prune truncated to poolCap with a 2×cap
+// trigger, so a hot pool re-pruned after every poolCap inserts while
+// holding twice the memory the cap promised.)
 const poolCap = 4096
 
 // Initializer builds the starting configuration for one pipeline
@@ -358,6 +361,7 @@ type searchMeters struct {
 	dedup      *obs.Counter
 	iterations *obs.Counter
 	restarts   *obs.Counter
+	prunes     *obs.Counter
 	prims      map[string]*obs.Counter
 	hopDepth   *obs.Histogram
 	iterTime   *obs.Timer
@@ -374,6 +378,7 @@ func newSearchMeters(reg *obs.Registry) *searchMeters {
 		dedup:      reg.Counter(obs.DedupHitsTotal),
 		iterations: reg.Counter(obs.IterationsTotal),
 		restarts:   reg.Counter(obs.PoolRestartsTotal),
+		prunes:     reg.Counter(obs.PoolPrunesTotal),
 		prims:      make(map[string]*obs.Counter),
 		hopDepth:   reg.Histogram(obs.MultiHopDepth, 1, 2, 3, 4, 5, 6, 7, 8),
 		iterTime:   reg.Timer(obs.IterationSeconds),
@@ -693,7 +698,7 @@ func (s *searcher) multiHop(cfg *config.Config, bn Bottleneck, hop int, initScor
 				}
 				cand := Candidate{Config: c, Estimate: e, Score: sc, hash: h}
 				s.pool[h] = &cand
-				if len(s.pool) > 2*poolCap {
+				if len(s.pool) > poolCap {
 					s.prunePool()
 				}
 				cands = append(cands, cand)
@@ -773,8 +778,15 @@ func (s *searcher) attachRecompute(cfg *config.Config) *config.Config {
 	return out
 }
 
-// prunePool drops the worst-scoring half of an oversized pool.
+// prunePool drops the worst-scoring entries of an oversized pool,
+// keeping the best poolCap/2 (deterministic: ties broken by hash). The
+// half-cap target leaves insert headroom so the pool is not re-pruned
+// on nearly every insert once it first fills.
 func (s *searcher) prunePool() {
+	keep := poolCap / 2
+	if len(s.pool) <= keep {
+		return
+	}
 	type entry struct {
 		h uint64
 		c *Candidate
@@ -789,8 +801,11 @@ func (s *searcher) prunePool() {
 		}
 		return all[a].h < all[b].h
 	})
-	for _, e := range all[poolCap:] {
+	for _, e := range all[keep:] {
 		delete(s.pool, e.h)
+	}
+	if s.met != nil {
+		s.met.prunes.Inc()
 	}
 }
 

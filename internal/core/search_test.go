@@ -7,6 +7,7 @@ import (
 	"aceso/internal/config"
 	"aceso/internal/hardware"
 	"aceso/internal/model"
+	"aceso/internal/obs"
 	"aceso/internal/perfmodel"
 	"aceso/internal/pipesim"
 )
@@ -377,8 +378,8 @@ func TestPoolPruneKeepsBest(t *testing.T) {
 		t.Fatalf("setup produced %d distinct configs", len(s.pool))
 	}
 	s.prunePool()
-	if len(s.pool) != poolCap {
-		t.Fatalf("pool size after prune = %d, want %d", len(s.pool), poolCap)
+	if len(s.pool) != poolCap/2 {
+		t.Fatalf("pool size after prune = %d, want %d", len(s.pool), poolCap/2)
 	}
 	// The best-scoring entry must survive.
 	found := false
@@ -389,5 +390,74 @@ func TestPoolPruneKeepsBest(t *testing.T) {
 	}
 	if !found {
 		t.Error("prune dropped the best entry")
+	}
+}
+
+func TestPrunePoolKeepsBestHalf(t *testing.T) {
+	// Regression (PR 4): prunePool documented "drop the worst-scoring
+	// half" but truncated only to poolCap, so a pool at its trigger size
+	// re-pruned after nearly every subsequent insert. It must prune to
+	// poolCap/2 (deterministic, hash-tiebroken).
+	s := &searcher{pool: make(map[uint64]*Candidate)}
+	n := poolCap + 1
+	for i := 0; i < n; i++ {
+		h := uint64(i)
+		// Two-valued scores exercise the hash tiebreak across the cut.
+		score := float64(i % 2)
+		s.pool[h] = &Candidate{Score: score, hash: h}
+	}
+	s.prunePool()
+	if len(s.pool) != poolCap/2 {
+		t.Fatalf("pool size after prune = %d, want poolCap/2 = %d", len(s.pool), poolCap/2)
+	}
+	// Survivors must be exactly the best (score, hash)-ordered entries:
+	// all score-0 candidates sort before score-1, and within score 0 the
+	// lowest hashes win.
+	for h, c := range s.pool {
+		if c.Score != 0 {
+			t.Fatalf("hash %d with score %v survived ahead of score-0 entries", h, c.Score)
+		}
+		if h >= uint64(poolCap) {
+			t.Errorf("hash %d survived the hash tiebreak over lower hashes", h)
+		}
+	}
+	// Pruning an at-or-under-target pool is a no-op.
+	before := len(s.pool)
+	s.prunePool()
+	if len(s.pool) != before {
+		t.Errorf("prune of small pool changed size %d → %d", before, len(s.pool))
+	}
+}
+
+func TestSearchDeterministicWithPruning(t *testing.T) {
+	// Pool restarts and explored counts must be identical across runs of
+	// the same seed — pruning is part of the deterministic state.
+	g, _ := model.GPT3("350M")
+	cl := hardware.DGX1V100(1).Restrict(4)
+	run := func() (Result, *obs.Registry) {
+		reg := obs.NewRegistry()
+		opts := Options{
+			TimeBudget:    time.Hour, // MaxIterations terminates first
+			StageCounts:   []int{2, 4},
+			MaxIterations: 12,
+			Seed:          7,
+			Metrics:       reg,
+		}
+		res, err := Search(g, cl, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return *res, reg
+	}
+	a, ra := run()
+	b, rb := run()
+	if a.Explored != b.Explored || a.Iterations != b.Iterations {
+		t.Errorf("explored/iterations differ across identical runs: %d/%d vs %d/%d",
+			a.Explored, a.Iterations, b.Explored, b.Iterations)
+	}
+	for _, name := range []string{obs.PoolRestartsTotal, obs.PoolPrunesTotal, obs.CandidatesEstimatedTotal} {
+		if va, vb := ra.Counter(name).Value(), rb.Counter(name).Value(); va != vb {
+			t.Errorf("%s differs across identical runs: %d vs %d", name, va, vb)
+		}
 	}
 }

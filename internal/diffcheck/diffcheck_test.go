@@ -1,0 +1,151 @@
+package diffcheck
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"aceso/internal/obs"
+)
+
+func TestRunCleanEffectsOff(t *testing.T) {
+	reg := obs.NewRegistry()
+	rep := Run(Options{Trials: 1500, Seed: 1, Metrics: reg})
+	if rep.Failed() {
+		t.Fatalf("effects-off invariants violated:\n%s", rep.Summary())
+	}
+	if rep.Trials != 1500 {
+		t.Errorf("Trials = %d, want 1500", rep.Trials)
+	}
+	if rep.Band.Samples == 0 {
+		t.Error("no band samples collected")
+	}
+	if got := reg.Counter(obs.DiffTrialsTotal).Value(); got != 1500 {
+		t.Errorf("%s = %d, want 1500", obs.DiffTrialsTotal, got)
+	}
+	// Sanity on the signed band itself: the simulator must both under-
+	// and over-shoot Eq. 2 across a corpus this size (a one-sided band
+	// would mean the closed form is secretly a bound, and the documented
+	// band rationale would be wrong).
+	if rep.Band.Min >= 0 {
+		t.Errorf("band min %v: simulator never beat the closed form", rep.Band.Min)
+	}
+	if rep.Band.Max <= 0 {
+		t.Errorf("band max %v: simulator never exceeded the closed form", rep.Band.Max)
+	}
+}
+
+func TestRunCleanEffectsOn(t *testing.T) {
+	rep := Run(Options{Trials: 800, Seed: 2, EffectsOn: true})
+	if rep.Failed() {
+		t.Fatalf("effects-on calibration violated:\n%s", rep.Summary())
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := Run(Options{Trials: 300, Seed: 7})
+	b := Run(Options{Trials: 300, Seed: 7})
+	if a.Band != b.Band {
+		t.Errorf("band stats differ across identical runs: %+v vs %+v", a.Band, b.Band)
+	}
+	if len(a.Violations) != len(b.Violations) {
+		t.Errorf("violation counts differ: %d vs %d", len(a.Violations), len(b.Violations))
+	}
+}
+
+func TestTupleJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		orig := RandomTuple(rng)
+		raw, err := json.Marshal(orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Tuple
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatal(err)
+		}
+		fa, ba := Check(&orig, false)
+		fb, bb := Check(&back, false)
+		if len(fa) != len(fb) || ba != bb {
+			t.Fatalf("tuple %d: JSON round trip changed the verdict (%d/%v vs %d/%v)\n%s",
+				i, len(fa), ba, len(fb), bb, raw)
+		}
+	}
+}
+
+func TestReplayTupleMatchesRun(t *testing.T) {
+	// The replay contract: trial i of a run is exactly
+	// RandomTuple(rand(TrialSeed(seed, i))) checked in the same mode.
+	const base, trial = 11, 37
+	rng := rand.New(rand.NewSource(TrialSeed(base, trial)))
+	tup := RandomTuple(rng)
+	direct := ReplayTuple(tup, false)
+	again, _ := Check(&tup, false)
+	if len(direct) != len(again) {
+		t.Errorf("replay disagrees with direct check: %d vs %d findings", len(direct), len(again))
+	}
+}
+
+func TestShrinkGreedyMinimizes(t *testing.T) {
+	// Drive the greedy engine with a synthetic predicate so the search
+	// behavior is testable without a real model/simulator divergence:
+	// "reproduces" iff ops ≥ 3 and devices ≥ 2 — the minimum should
+	// come out at exactly that boundary.
+	start := Tuple{
+		Ops: 24, FwdFLOPs: 1e9, Params: 1e6, Act: 1e5, GlobalBatch: 64,
+		Devices: 16, Stages: 4, MicroBatch: 4, MutSeed: 99, Slope: 1.5, Seed: 1,
+	}
+	got, steps := shrinkWith(start, func(c Tuple) bool {
+		return c.Ops >= 3 && c.Devices >= 2
+	})
+	if got.Ops != 3 || got.Devices != 2 {
+		t.Errorf("shrunk to ops=%d devices=%d, want 3/2", got.Ops, got.Devices)
+	}
+	if got.MutSeed != 0 || got.Slope != 0 {
+		t.Errorf("irrelevant knobs not dropped: mutSeed=%d slope=%v", got.MutSeed, got.Slope)
+	}
+	if steps == 0 {
+		t.Error("no shrink steps counted")
+	}
+	// Local minimum: no reduction of the result still reproduces.
+	for _, r := range reductions(got) {
+		if r.Ops >= 3 && r.Devices >= 2 {
+			t.Errorf("result not minimal: %+v still reproduces", r)
+		}
+	}
+}
+
+func TestReductionsDoNotAliasFault(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var tup Tuple
+	for tup.Fault == nil {
+		tup = RandomTuple(rng)
+	}
+	before := len(tup.Fault.Devices)
+	for _, r := range reductions(tup) {
+		if r.Fault != nil && r.Fault == tup.Fault {
+			t.Fatal("reduction shares the parent's FaultSpec pointer")
+		}
+	}
+	if len(tup.Fault.Devices) != before {
+		t.Error("reductions mutated the parent fault spec")
+	}
+}
+
+func TestBuildRejectsUnconstructible(t *testing.T) {
+	bad := []Tuple{
+		{Ops: 2, FwdFLOPs: 1e9, Params: 1e6, Act: 1e5, GlobalBatch: 8, Devices: 4, Stages: 4, MicroBatch: 1}, // stages > ops
+		{Ops: 4, FwdFLOPs: 1e9, Params: 1e6, Act: 1e5, GlobalBatch: 8, Devices: 4, Stages: 2, MicroBatch: 3}, // mbs ∤ batch
+		{Ops: 0, FwdFLOPs: 1e9, Params: 1e6, Act: 1e5, GlobalBatch: 8, Devices: 4, Stages: 1, MicroBatch: 1}, // empty graph
+	}
+	for i, tup := range bad {
+		if _, _, err := tup.Build(); err == nil {
+			t.Errorf("tuple %d built despite unconstructible shape", i)
+		}
+		findings, _ := Check(&tup, false)
+		if len(findings) != 1 || findings[0].Kind != KindBuild {
+			t.Errorf("tuple %d: Check findings = %+v, want one %q", i, findings, KindBuild)
+		}
+	}
+}

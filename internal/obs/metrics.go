@@ -22,6 +22,7 @@ const (
 	DedupHitsTotal           = "aceso_search_dedup_hits_total"
 	IterationsTotal          = "aceso_search_iterations_total"
 	PoolRestartsTotal        = "aceso_search_pool_restarts_total"
+	PoolPrunesTotal          = "aceso_search_pool_prunes_total"
 	PrimitiveAppliedTotal    = "aceso_search_primitive_applied_total"
 	StageCacheHitsTotal      = "aceso_perfmodel_stage_cache_hits_total"
 	StageCacheMissesTotal    = "aceso_perfmodel_stage_cache_misses_total"
@@ -29,6 +30,12 @@ const (
 	// IterationSeconds is a Timer; the snapshot suffixes it with
 	// _seconds_total and _count.
 	IterationSeconds = "aceso_search_iteration"
+
+	// Differential-validation harness (internal/diffcheck). Violations
+	// carry a `{kind="..."}` label per invariant.
+	DiffTrialsTotal      = "aceso_diff_trials_total"
+	DiffViolationsTotal  = "aceso_diff_violations_total"
+	DiffShrinkStepsTotal = "aceso_diff_shrink_steps_total"
 )
 
 // Counter is a monotonic (or Set-overwritten snapshot) integer metric.

@@ -243,6 +243,15 @@ func (m *Model) Estimate(cfg *config.Config) *Estimate {
 		Feasible:     true,
 		Microbatches: n,
 	}
+	// A degenerate configuration whose microbatch (times dp) exceeds the
+	// global batch performs zero microbatches — zero work. Historically
+	// this returned a finite-IterTime Feasible estimate (all-warm-up, no
+	// steady state) that the search could score as a "win" while the
+	// simulator rejected the same config outright. Zero work is not a
+	// plan; mark it infeasible so no consumer ranks it.
+	if n <= 0 {
+		est.Feasible = false
+	}
 
 	firstDev := 0
 	for si := range cfg.Stages {
@@ -523,11 +532,34 @@ func ValidateEstimate(e *Estimate) error {
 	return nil
 }
 
+// NoMicrobatchesError reports a degenerate configuration whose
+// microbatch size (times data parallelism) exceeds the global batch:
+// it would execute zero microbatches per iteration, i.e. no work.
+// Estimate marks such configs infeasible; EstimateChecked surfaces
+// this typed error so tooling can distinguish "cannot fit" from
+// "does nothing".
+type NoMicrobatchesError struct {
+	MicroBatch  int
+	GlobalBatch int
+}
+
+func (e *NoMicrobatchesError) Error() string {
+	return fmt.Sprintf("perfmodel: zero microbatches per iteration (micro-batch %d exceeds global batch %d)",
+		e.MicroBatch, e.GlobalBatch)
+}
+
 // EstimateChecked is Estimate followed by ValidateEstimate — the entry
 // point for callers that consume untrusted graphs, clusters or
-// profiler databases (the chaos harness, external tooling).
+// profiler databases (the chaos harness, external tooling). A
+// zero-work configuration returns a *NoMicrobatchesError.
 func (m *Model) EstimateChecked(cfg *config.Config) (*Estimate, error) {
 	est := m.Estimate(cfg)
+	if est.Microbatches <= 0 {
+		return nil, &NoMicrobatchesError{
+			MicroBatch:  cfg.MicroBatch,
+			GlobalBatch: m.Graph.GlobalBatch,
+		}
+	}
 	if err := ValidateEstimate(est); err != nil {
 		return nil, err
 	}

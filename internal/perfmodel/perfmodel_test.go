@@ -1,6 +1,7 @@
 package perfmodel
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -310,5 +311,38 @@ func TestEstimateWellFormed(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestZeroMicrobatchConfigInfeasible(t *testing.T) {
+	// Regression (PR 4, found by diffcheck): a degenerate config whose
+	// micro-batch exceeds the global batch executes zero microbatches —
+	// zero work per iteration. Estimate historically returned a
+	// finite-IterTime Feasible:true estimate for it (warm-up-only Eq. 2)
+	// while pipesim rejected the same config with an error, so the
+	// search could score "do nothing" as a win.
+	g := model.Uniform(8, 1e11, 1e7, 1e6, 64) // GlobalBatch 64
+	m := newModel(t, g, 4)
+	c := balanced(t, g, 4, 2, 1)
+	c.SetMicroBatch(128) // > GlobalBatch → zero microbatches
+	if n := c.NumMicrobatches(g.GlobalBatch); n != 0 {
+		t.Fatalf("setup: NumMicrobatches = %d, want 0", n)
+	}
+	e := m.Estimate(c)
+	if e.Feasible {
+		t.Error("zero-work estimate must be infeasible")
+	}
+	if e.Microbatches != 0 {
+		t.Errorf("Microbatches = %d, want 0", e.Microbatches)
+	}
+
+	// EstimateChecked surfaces the typed error.
+	_, err := m.EstimateChecked(c)
+	var nmb *NoMicrobatchesError
+	if !errors.As(err, &nmb) {
+		t.Fatalf("EstimateChecked error = %v, want *NoMicrobatchesError", err)
+	}
+	if nmb.MicroBatch != 128 || nmb.GlobalBatch != 64 {
+		t.Errorf("error payload = %+v, want {128 64}", nmb)
 	}
 }

@@ -13,6 +13,13 @@
 // over-estimate. The gap between prediction and simulation is what
 // Exp#8/#9 measure; without an independent substrate those experiments
 // would be circular (DESIGN.md §2).
+//
+// The second-order effects are parameterized by an Effects struct:
+// DefaultEffects is the realistic runtime, ModelFaithful zeroes every
+// deviation so the simulator realizes exactly the model's assumptions.
+// The model-faithful mode is what internal/diffcheck cross-checks
+// Eq. 1–2 against: with effects off, any model/simulator divergence is
+// a bug on one of the two sides, not a modeling gap (DESIGN.md §5e).
 package pipesim
 
 import (
@@ -32,6 +39,14 @@ const (
 	// slightly slow (cache effects, clock throttling).
 	skewAmp  = 0.05
 	skewBias = 0.015
+	// memSkewAmp/memSkewBias drive the *memory* perturbation (padding,
+	// stream-ordered frees). Memory has its own keyed skew stream and
+	// its own, smaller bias: allocator jitter is not kernel-time jitter,
+	// and the historical bug of reusing the time stream (offset by
+	// +1000) both applied the time-oriented bias to memory and collided
+	// with compute-skew indices for deep pipelines.
+	memSkewAmp  = 0.02
+	memSkewBias = 0.005
 	// allocRetain is the fraction of the model's worst-case allocator
 	// reserve that a caching allocator actually holds on to. The model
 	// intentionally over-estimates (§3.3); the simulator realizes less.
@@ -40,6 +55,70 @@ const (
 	// the runtime actually stashes (some buffers are reused in place).
 	actSlack = 0.93
 )
+
+// Effects parameterizes every second-order deviation the simulator
+// layers on top of the analytic model. The zero value is meaningless;
+// construct with DefaultEffects (the realistic runtime) or
+// ModelFaithful (all deviations off — the diffcheck oracle mode).
+type Effects struct {
+	// TaskOverhead is the per-task host-side cost added to every
+	// forward and backward task (seconds).
+	TaskOverhead float64
+	// SkewAmp/SkewBias shape the multiplicative execution-time skew:
+	// each (stage, direction) draws a deterministic multiplier
+	// 1 + SkewBias + SkewAmp·(u − 0.5) with u uniform in [0, 1).
+	SkewAmp  float64
+	SkewBias float64
+	// MemSkewAmp/MemSkewBias shape the multiplicative memory
+	// perturbation, drawn from a dedicated "mem"-keyed stream.
+	MemSkewAmp  float64
+	MemSkewBias float64
+	// AllocRetain scales the model's allocator over-estimate
+	// (StageMetrics.ExtraMem); 1 realizes the model's assumption.
+	AllocRetain float64
+	// ActSlack scales the per-microbatch activation stash
+	// (StageMetrics.ActPerMB); 1 realizes the model's assumption.
+	ActSlack float64
+}
+
+// DefaultEffects returns the realistic runtime: overhead, skew and an
+// allocator that retains less than the model's conservative reserve.
+func DefaultEffects() Effects {
+	return Effects{
+		TaskOverhead: taskOverhead,
+		SkewAmp:      skewAmp,
+		SkewBias:     skewBias,
+		MemSkewAmp:   memSkewAmp,
+		MemSkewBias:  memSkewBias,
+		AllocRetain:  allocRetain,
+		ActSlack:     actSlack,
+	}
+}
+
+// ModelFaithful returns the effects knob that makes the simulator
+// realize exactly the performance model's assumptions: no overhead, no
+// skew, the full activation stash and the full allocator reserve. In
+// this mode the simulated per-stage peak memory equals Eq. 1
+// term-for-term and the makespan differs from Eq. 2 only by genuine
+// scheduling structure (see internal/diffcheck's signed band).
+func ModelFaithful() Effects {
+	return Effects{AllocRetain: 1, ActSlack: 1}
+}
+
+// validate rejects knobs outside their meaningful ranges.
+func (fx Effects) validate() error {
+	switch {
+	case fx.TaskOverhead < 0:
+		return fmt.Errorf("pipesim: TaskOverhead %v < 0", fx.TaskOverhead)
+	case fx.SkewAmp < 0 || fx.MemSkewAmp < 0:
+		return fmt.Errorf("pipesim: negative skew amplitude")
+	case fx.AllocRetain < 0 || fx.AllocRetain > 1:
+		return fmt.Errorf("pipesim: AllocRetain %v outside [0, 1]", fx.AllocRetain)
+	case fx.ActSlack < 0 || fx.ActSlack > 1:
+		return fmt.Errorf("pipesim: ActSlack %v outside [0, 1]", fx.ActSlack)
+	}
+	return nil
+}
 
 // Schedule selects the pipeline execution order.
 type Schedule int
@@ -64,6 +143,7 @@ type Result struct {
 	StagePeakMem []float64 // per-stage simulated peak memory
 	PeakInflight []int     // per-stage max concurrently stashed microbatches
 	StageBusy    []float64 // per-stage busy fraction of the makespan
+	StageOOM     []bool    // per-stage memory verdict against CapMem
 }
 
 // BubbleFraction returns the mean pipeline idleness: 1 − average
@@ -79,24 +159,67 @@ func (r *Result) BubbleFraction() float64 {
 	return 1 - sum/float64(len(r.StageBusy))
 }
 
-// skew returns the deterministic execution-skew multiplier for one
-// stage of one configuration.
-func skew(seed int64, cfg *config.Config, stage int, backward bool) float64 {
+// timeSkew returns the deterministic execution-skew multiplier for one
+// stage of one configuration. The stream keying (seed|stage|direction|
+// config hash) predates the Effects struct and is kept byte-compatible
+// so fixed-seed simulations reproduce across versions.
+func (fx Effects) timeSkew(seed int64, cfg *config.Config, stage int, backward bool) float64 {
+	if fx.SkewAmp == 0 && fx.SkewBias == 0 {
+		return 1
+	}
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d|%d|%v|%d", seed, stage, backward, cfg.Hash())
-	u := float64(h.Sum64()%(1<<20)) / float64(1<<20)
-	return 1 + skewBias + skewAmp*(u-0.5)
+	u := float64(h.Sum64()%(1<<20)) / float64(1 << 20)
+	return 1 + fx.SkewBias + fx.SkewAmp*(u-0.5)
+}
+
+// memSkew returns the deterministic memory-perturbation multiplier for
+// one stage. Memory draws from its own "mem"-keyed stream: the
+// historical implementation reused the time stream at index stage+1000,
+// which collided with compute-skew indices for deep pipelines and
+// applied the time-oriented bias to memory.
+func (fx Effects) memSkew(seed int64, cfg *config.Config, stage int) float64 {
+	if fx.MemSkewAmp == 0 && fx.MemSkewBias == 0 {
+		return 1
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "mem|%d|%d|%d", seed, stage, cfg.Hash())
+	u := float64(h.Sum64()%(1<<20)) / float64(1 << 20)
+	return 1 + fx.MemSkewBias + fx.MemSkewAmp*(u-0.5)
+}
+
+// ExpectedStageMem composes the memory the simulator charges one stage:
+// Eq. 1's terms with the effects knobs applied, times the stage's
+// deterministic memory-skew multiplier. Exported so the differential
+// harness (and tests) can assert the simulator's memory accounting
+// term-for-term against an independently computed in-flight count.
+func ExpectedStageMem(sm *perfmodel.StageMetrics, peakInflight int, fx Effects, seed int64, cfg *config.Config, stage int) float64 {
+	mem := sm.ParamMem + sm.OptMem +
+		sm.ActPerMB*fx.ActSlack*float64(peakInflight) +
+		sm.ExtraMem*fx.AllocRetain
+	return mem * fx.memSkew(seed, cfg, stage)
 }
 
 // Simulate executes one training iteration of cfg under the 1F1B
-// schedule and returns the observed time and memory. The configuration
-// must be valid for pm's graph and cluster.
+// schedule with the default (realistic) effects and returns the
+// observed time and memory. The configuration must be valid for pm's
+// graph and cluster.
 func Simulate(pm *perfmodel.Model, cfg *config.Config, seed int64) (*Result, error) {
 	return SimulateSchedule(pm, cfg, seed, OneFOneB)
 }
 
 // SimulateSchedule is Simulate with an explicit pipeline schedule.
 func SimulateSchedule(pm *perfmodel.Model, cfg *config.Config, seed int64, sched Schedule) (*Result, error) {
+	return SimulateEffects(pm, cfg, seed, sched, DefaultEffects())
+}
+
+// SimulateEffects is SimulateSchedule with an explicit effects knob —
+// the entry point of the differential-validation harness, which runs
+// the simulator in ModelFaithful mode against the analytic model.
+func SimulateEffects(pm *perfmodel.Model, cfg *config.Config, seed int64, sched Schedule, fx Effects) (*Result, error) {
+	if err := fx.validate(); err != nil {
+		return nil, err
+	}
 	if err := cfg.Validate(pm.Graph, pm.Cluster.TotalDevices()); err != nil {
 		return nil, fmt.Errorf("pipesim: %w", err)
 	}
@@ -112,8 +235,8 @@ func SimulateSchedule(pm *perfmodel.Model, cfg *config.Config, seed int64, sched
 	fwd := make([]float64, p)
 	bwd := make([]float64, p)
 	for i := 0; i < p; i++ {
-		fwd[i] = est.Stages[i].FwdTime*skew(seed, cfg, i, false) + taskOverhead
-		bwd[i] = est.Stages[i].BwdTime*skew(seed, cfg, i, true) + taskOverhead
+		fwd[i] = est.Stages[i].FwdTime*fx.timeSkew(seed, cfg, i, false) + fx.TaskOverhead
+		bwd[i] = est.Stages[i].BwdTime*fx.timeSkew(seed, cfg, i, true) + fx.TaskOverhead
 	}
 
 	// Build each stage's 1F1B task order: w warm-up forwards, then
@@ -230,6 +353,7 @@ func SimulateSchedule(pm *perfmodel.Model, cfg *config.Config, seed int64, sched
 		StagePeakMem: make([]float64, p),
 		PeakInflight: peakInflight,
 		StageBusy:    make([]float64, p),
+		StageOOM:     make([]bool, p),
 	}
 	for i := 0; i < p; i++ {
 		t := stageFree[i] + est.Stages[i].DPSync
@@ -242,24 +366,19 @@ func SimulateSchedule(pm *perfmodel.Model, cfg *config.Config, seed int64, sched
 		if t > res.IterTime {
 			res.IterTime = t
 		}
-		sm := &est.Stages[i]
-		mem := sm.ParamMem + sm.OptMem +
-			sm.ActPerMB*actSlack*float64(peakInflight[i]) +
-			sm.ExtraMem*allocRetain
-		// The same deterministic skew stream perturbs memory slightly
-		// (padding, stream-ordered frees).
-		mem *= skew(seed, cfg, i+1000, false)
+		mem := ExpectedStageMem(&est.Stages[i], peakInflight[i], fx, seed, cfg, i)
 		res.StagePeakMem[i] = mem
 		if mem > res.PeakMem {
 			res.PeakMem = mem
 		}
 		// Fault-aware capacity: a derated device shrinks its stage's
 		// budget (CapMem == Cluster.MemoryBytes on healthy hardware).
-		cap := sm.CapMem
+		cap := est.Stages[i].CapMem
 		if cap <= 0 {
 			cap = pm.Cluster.MemoryBytes
 		}
 		if mem > cap {
+			res.StageOOM[i] = true
 			res.OOM = true
 		}
 	}

@@ -336,3 +336,132 @@ func mustCfg(t *testing.T, g *model.Graph, devices, stages, mbs int) *config.Con
 	}
 	return c
 }
+
+func TestModelFaithfulRealizesEq1(t *testing.T) {
+	// With effects off the simulator's per-stage memory must equal the
+	// model's Eq. 1 composition bitwise: every knob multiplies by
+	// exactly 1.0, and the addition order matches the model's.
+	g, _ := model.GPT3("1.3B")
+	pm, c := setup(t, g, 8, 4, 2)
+	est := pm.Estimate(c)
+	r, err := SimulateEffects(pm, c, 5, OneFOneB, ModelFaithful())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := est.Microbatches
+	p := c.NumStages()
+	for i := range r.StagePeakMem {
+		inflight := p - i
+		if inflight > n {
+			inflight = n
+		}
+		if r.PeakInflight[i] != inflight {
+			t.Errorf("stage %d inflight %d, want min(p-i, n) = %d", i, r.PeakInflight[i], inflight)
+		}
+		sm := &est.Stages[i]
+		want := sm.ParamMem + sm.OptMem + sm.ActPerMB*float64(inflight) + sm.ExtraMem
+		if r.StagePeakMem[i] != want {
+			t.Errorf("stage %d mem %v, want Eq.1 composition %v (diff %g)",
+				i, r.StagePeakMem[i], want, r.StagePeakMem[i]-want)
+		}
+		if r.StageOOM[i] != (want > sm.CapMem) {
+			t.Errorf("stage %d OOM verdict %v disagrees with Eq.1 vs CapMem", i, r.StageOOM[i])
+		}
+	}
+	// Seeds must not matter when every stochastic knob is off.
+	r2, err := SimulateEffects(pm, c, 99, OneFOneB, ModelFaithful())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IterTime != r2.IterTime || r.PeakMem != r2.PeakMem {
+		t.Errorf("model-faithful mode must be seed-independent: %v/%v vs %v/%v",
+			r.IterTime, r.PeakMem, r2.IterTime, r2.PeakMem)
+	}
+}
+
+func TestMemSkewOwnStream(t *testing.T) {
+	// Regression (PR 4): memory perturbation historically reused the
+	// time-skew stream via skew(seed, cfg, i+1000, false), applying the
+	// time-oriented bias to memory and colliding with compute-skew
+	// indices for deep pipelines. Memory now draws from its own
+	// "mem|"-keyed stream with its own (smaller) bias.
+	g, _ := model.GPT3("1.3B")
+	pm, c := setup(t, g, 8, 4, 2)
+	est := pm.Estimate(c)
+	r, err := Simulate(pm, c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := DefaultEffects()
+	oldStream := 0
+	for i := range r.StagePeakMem {
+		// The new accounting must match the exported composition helper…
+		want := ExpectedStageMem(&est.Stages[i], r.PeakInflight[i], fx, 5, c, i)
+		if r.StagePeakMem[i] != want {
+			t.Errorf("stage %d mem %v != ExpectedStageMem %v", i, r.StagePeakMem[i], want)
+		}
+		// …and must NOT match the historical time-stream reuse.
+		sm := &est.Stages[i]
+		base := sm.ParamMem + sm.OptMem +
+			sm.ActPerMB*fx.ActSlack*float64(r.PeakInflight[i]) +
+			sm.ExtraMem*fx.AllocRetain
+		old := base * fx.timeSkew(5, c, i+1000, false)
+		if r.StagePeakMem[i] == old {
+			oldStream++
+		}
+		// The mem factor stays within its own tight band, not the time
+		// band: |factor − 1| ≤ MemSkewBias + MemSkewAmp/2 < 1.6%.
+		factor := r.StagePeakMem[i] / base
+		if lim := fx.MemSkewBias + fx.MemSkewAmp/2 + 1e-12; math.Abs(factor-1) > lim {
+			t.Errorf("stage %d mem skew factor %v outside ±%v band", i, factor, lim)
+		}
+	}
+	if oldStream == len(r.StagePeakMem) {
+		t.Error("memory perturbation still rides the time-skew stream")
+	}
+}
+
+func TestSimulateBitDeterminismPinned(t *testing.T) {
+	// Byte-identical determinism at a fixed seed: two runs of the same
+	// (model, config, seed) must agree to the last bit in every field.
+	g, _ := model.GPT3("1.3B")
+	pm, c := setup(t, g, 8, 4, 2)
+	a, err := Simulate(pm, c, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(pm, c, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(a.IterTime) != math.Float64bits(b.IterTime) ||
+		math.Float64bits(a.PeakMem) != math.Float64bits(b.PeakMem) {
+		t.Fatalf("bit-level determinism broken: %x/%x vs %x/%x",
+			math.Float64bits(a.IterTime), math.Float64bits(a.PeakMem),
+			math.Float64bits(b.IterTime), math.Float64bits(b.PeakMem))
+	}
+	for i := range a.StagePeakMem {
+		if math.Float64bits(a.StagePeakMem[i]) != math.Float64bits(b.StagePeakMem[i]) {
+			t.Errorf("stage %d peak mem differs across identical runs", i)
+		}
+		if math.Float64bits(a.StageTime[i]) != math.Float64bits(b.StageTime[i]) {
+			t.Errorf("stage %d time differs across identical runs", i)
+		}
+	}
+}
+
+func TestEffectsValidate(t *testing.T) {
+	g, _ := model.GPT3("350M")
+	pm, c := setup(t, g, 4, 2, 1)
+	bad := []Effects{
+		{TaskOverhead: -1, AllocRetain: 1, ActSlack: 1},
+		{SkewAmp: -0.1, AllocRetain: 1, ActSlack: 1},
+		{AllocRetain: 1.5, ActSlack: 1},
+		{AllocRetain: 1, ActSlack: -0.2},
+	}
+	for i, fx := range bad {
+		if _, err := SimulateEffects(pm, c, 1, OneFOneB, fx); err == nil {
+			t.Errorf("bad effects #%d accepted", i)
+		}
+	}
+}
