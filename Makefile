@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test ci bench-search chaos fuzz-smoke trace-smoke diff-smoke
+.PHONY: build test ci bench-search chaos fuzz-smoke trace-smoke diff-smoke elastic-smoke
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,11 @@ test:
 # so hot-path regressions fail loudly, a traced-search smoke (the
 # breakdown auditor fails the build on any resource-accounting
 # violation), a short chaos run — which also audits every trial's
-# estimates — and the differential model-vs-simulator smoke (5k
-# effects-off tuples; any Eq.1/Eq.2 invariant violation fails the build
-# and leaves a shrunken repro JSON behind).
+# estimates — the differential model-vs-simulator smoke (5k effects-off
+# tuples; any Eq.1/Eq.2 invariant violation fails the build and leaves
+# a shrunken repro JSON behind), and the elastic-runtime smoke
+# (checkpoint → kill → replan → reshard → resume must rejoin the
+# uninterrupted trajectory, plus randomized elastic chaos trials).
 ci: build
 	$(GO) vet ./...
 	$(GO) test ./...
@@ -27,6 +29,7 @@ ci: build
 	$(MAKE) trace-smoke
 	$(MAKE) chaos CHAOS_DURATION=10s
 	$(MAKE) diff-smoke
+	$(MAKE) elastic-smoke
 
 # trace-smoke runs the observability target into a scratch directory:
 # it exercises the JSONL tracer, the metrics registry and the breakdown
@@ -51,6 +54,16 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseOpKey -fuzztime=5s ./internal/profiler
 	$(GO) test -fuzz=FuzzOpKeyRoundTrip -fuzztime=5s ./internal/profiler
 	$(GO) test -fuzz=FuzzSearchNeverPanics -fuzztime=5s ./internal/core
+	$(GO) test -fuzz=FuzzCheckpointLoadNeverPanics -fuzztime=5s ./internal/elastic
+
+# elastic-smoke runs the elastic-runtime benchmark + randomized elastic
+# chaos trials via cmd/acesobench: it fails the build if the recovered
+# run diverges from the uninterrupted trajectory or any trial panics,
+# deadlocks, loses steps or produces a non-finite loss. It writes
+# BENCH_elastic.json into /tmp to keep the tree clean.
+ELASTIC_TRIALS ?= 12
+elastic-smoke:
+	$(GO) run ./cmd/acesobench -elastic-trials $(ELASTIC_TRIALS) -elasticfile /tmp/aceso_ci_elastic.json elastic
 
 # chaos runs the fault-injection harness (internal/chaos) for a short
 # wall budget; it exits non-zero on any panic, invalid plan or

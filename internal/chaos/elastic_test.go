@@ -1,0 +1,52 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunElasticClean is the elastic-smoke gate: a batch of randomized
+// train → kill → replan → reshard → resume trials must complete with
+// zero invariant violations.
+func TestRunElasticClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("elastic chaos trials are not short")
+	}
+	rep := RunElastic(Options{Trials: 12, Seed: 20260806})
+	t.Log(rep.Summary())
+	if rep.Failed() {
+		t.Fatalf("elastic chaos violations:\n%s", rep.Summary())
+	}
+	if rep.Trials != 12 {
+		t.Fatalf("ran %d trials, want 12", rep.Trials)
+	}
+	// The harness must actually exercise recovered runs, not reject
+	// every trial on a technicality.
+	if rep.Plans == 0 {
+		t.Fatal("no trial completed a full elastic run")
+	}
+}
+
+// TestRunElasticDurationBound: a duration-bounded run stops on time.
+func TestRunElasticDurationBound(t *testing.T) {
+	start := time.Now()
+	rep := RunElastic(Options{Trials: 0, Duration: 2 * time.Second, Seed: 1})
+	if rep.Trials == 0 {
+		t.Fatal("no trials ran inside the duration bound")
+	}
+	if time.Since(start) > 90*time.Second {
+		t.Fatalf("duration-bounded run overran: %v", time.Since(start))
+	}
+}
+
+// TestReplayElasticTrialDeterministic: the same (trial, seed) replays
+// to the same verdict — the property that makes violations debuggable.
+func TestReplayElasticTrialDeterministic(t *testing.T) {
+	for _, seed := range []int64{3, 77, 9001} {
+		a := ReplayElasticTrial(0, seed, &Report{})
+		b := ReplayElasticTrial(0, seed, &Report{})
+		if (a == nil) != (b == nil) {
+			t.Fatalf("seed %d: verdicts differ between replays (%v vs %v)", seed, a, b)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package elastic
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"aceso/internal/hardware"
+	"aceso/internal/obs"
+	"aceso/internal/runtime"
+)
+
+const tol = 1e-9
+
+// TestElasticTrainSurvivesFault is the end-to-end acceptance test:
+// train N iterations, kill a device at iteration k, Replan on the
+// degraded cluster, reshard the last checkpoint, resume to N — and the
+// stitched loss trajectory plus the final parameters must match an
+// uninterrupted run on the original config to float tolerance.
+func TestElasticTrainSurvivesFault(t *testing.T) {
+	g := buildMLP(t)
+	cfgA := uniformCfg(t, g, 2, 2, 2, 1, 4) // pp2 × tp2 on 4 devices
+	cl := hardware.DGX1V100(1).Restrict(4)
+	x, y := trainData(42)
+	const iters = 6
+
+	base := runtime.InitParams(g, 7)
+	base.Opt = runtime.Adam
+
+	ref := base.Clone()
+	refLosses, err := runtime.Parallel(g, cfgA, ref, x, y, lr, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	rep, err := Train(context.Background(), g, cl, cfgA, base.Clone(), x, y, iters,
+		&runtime.FaultPlan{Rank: 2, Iteration: 3},
+		Options{
+			LR:              lr,
+			CheckpointEvery: 2,
+			Dir:             t.TempDir(), // exercise the file round trip
+			CommDeadline:    10 * time.Second,
+			SearchBudget:    300 * time.Millisecond,
+			Metrics:         reg,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FaultsInjected != 1 || rep.Reshards != 1 {
+		t.Fatalf("faults %d, reshards %d; want 1, 1", rep.FaultsInjected, rep.Reshards)
+	}
+	if rep.Config == cfgA {
+		t.Error("no replanned config: still training on the original plan")
+	}
+	if rep.Config.TotalDevices() >= 4 {
+		t.Errorf("replanned config uses %d devices, want < 4 after losing one", rep.Config.TotalDevices())
+	}
+	if len(rep.Losses) != iters || rep.FinalStep != iters {
+		t.Fatalf("losses %d, final step %d; want %d iterations", len(rep.Losses), rep.FinalStep, iters)
+	}
+	for i := 1; i < len(rep.Steps); i++ {
+		if rep.Steps[i] <= rep.Steps[i-1] {
+			t.Fatalf("step counter not monotone: %v", rep.Steps)
+		}
+	}
+	for i := range refLosses {
+		if math.Abs(refLosses[i]-rep.Losses[i]) > tol {
+			t.Errorf("iter %d: uninterrupted %.12f vs elastic %.12f", i, refLosses[i], rep.Losses[i])
+		}
+	}
+	if d := ref.MaxDiff(rep.Params); d > tol {
+		t.Errorf("final state differs by %g from uninterrupted run", d)
+	}
+	if rep.ReshardBytesMoved <= 0 {
+		t.Errorf("reshard moved %d bytes, want > 0 (plan changed)", rep.ReshardBytesMoved)
+	}
+	if rep.Recovery <= 0 {
+		t.Error("recovery duration not recorded")
+	}
+
+	// Metrics flowed through the registry.
+	for _, name := range []string{
+		obs.ElasticFaultsInjectedTotal, obs.ElasticCheckpointsTotal,
+		obs.ElasticRestoresTotal, obs.ElasticReshardsTotal,
+		obs.ElasticReshardBytesMovedTotal,
+	} {
+		if reg.Counter(name).Value() == 0 {
+			t.Errorf("metric %s = 0, want > 0", name)
+		}
+	}
+	if reg.Timer(obs.ElasticRecovery).Count() == 0 {
+		t.Errorf("recovery timer has no observations")
+	}
+}
+
+// TestElasticTrainNoFault: without a fault the driver is just segmented
+// training — identical to one Parallel call, checkpoints and all.
+func TestElasticTrainNoFault(t *testing.T) {
+	g := buildMLP(t)
+	cfg := uniformCfg(t, g, 2, 2, 2, 1, 4)
+	cl := hardware.DGX1V100(1).Restrict(4)
+	x, y := trainData(42)
+	const iters = 4
+
+	ref := runtime.InitParams(g, 7)
+	ref.Opt = runtime.Adam
+	refLosses, err := runtime.Parallel(g, cfg, ref, x, y, lr, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := runtime.InitParams(g, 7)
+	p.Opt = runtime.Adam
+	rep, err := Train(context.Background(), g, cl, cfg, p, x, y, iters, nil, Options{LR: lr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FaultsInjected != 0 || rep.Reshards != 0 {
+		t.Fatalf("unexpected recovery events: %+v", rep)
+	}
+	if rep.Checkpoints != iters+1 {
+		t.Errorf("checkpoints %d, want %d (every iteration + step 0)", rep.Checkpoints, iters+1)
+	}
+	for i := range refLosses {
+		if math.Abs(refLosses[i]-rep.Losses[i]) > tol {
+			t.Errorf("iter %d: %v vs %v", i, refLosses[i], rep.Losses[i])
+		}
+	}
+	if d := ref.MaxDiff(rep.Params); d > tol {
+		t.Errorf("final state differs by %g", d)
+	}
+}
+
+// TestElasticTrainRejectsBadFault: out-of-range fault plans are caught
+// before any training happens.
+func TestElasticTrainRejectsBadFault(t *testing.T) {
+	g := buildMLP(t)
+	cfg := uniformCfg(t, g, 1, 1, 1, 1, 4)
+	cl := hardware.DGX1V100(1).Restrict(1)
+	x, y := trainData(42)
+	p := runtime.InitParams(g, 7)
+	if _, err := Train(context.Background(), g, cl, cfg, p, x, y, 3,
+		&runtime.FaultPlan{Rank: 0, Iteration: 3}, Options{LR: lr}); err == nil {
+		t.Fatal("fault at iteration == iters accepted")
+	}
+}

@@ -1,0 +1,61 @@
+package elastic
+
+import (
+	"testing"
+
+	"aceso/internal/config"
+	"aceso/internal/model"
+	"aceso/internal/runtime"
+)
+
+// FuzzCheckpointLoadNeverPanics pins the decoder's robustness contract:
+// arbitrary, truncated or bit-flipped bytes must come back as a typed
+// error — never a panic, never a runaway allocation. Checkpoints are
+// the recovery path; a decoder that crashes on a torn file turns a
+// survivable fault into an unrecoverable one.
+func FuzzCheckpointLoadNeverPanics(f *testing.F) {
+	g, err := model.MLP(2, 4, 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	p := runtime.InitParams(g, 1)
+	p.Opt = runtime.Adam
+	cfg, err := config.Balanced(g, 2, 2, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	st, err := ShardState(g, cfg, p)
+	if err != nil {
+		f.Fatal(err)
+	}
+	good := Encode(st)
+
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add(good[:headerLen])
+	f.Add([]byte{})
+	f.Add([]byte("ACESOCKP"))
+	// Bit-flipped header and payload variants.
+	for _, off := range []int{0, 9, 12, headerLen + 3, len(good) - 4} {
+		mut := append([]byte(nil), good...)
+		mut[off] ^= 0x80
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Decode(data)
+		if err != nil {
+			if st != nil {
+				t.Fatal("Decode returned both state and error")
+			}
+			return
+		}
+		// Whatever decoded must survive the rest of the pipeline without
+		// panicking: re-encode always, assemble when coverage is exact.
+		reenc := Encode(st)
+		if _, err := Decode(reenc); err != nil {
+			t.Fatalf("re-encode of decoded state does not decode: %v", err)
+		}
+		_, _ = AssembleState(st)
+	})
+}

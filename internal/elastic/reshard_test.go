@@ -1,0 +1,142 @@
+package elastic
+
+import (
+	"testing"
+
+	"aceso/internal/config"
+	"aceso/internal/model"
+)
+
+// reshardConfigs is the cross-product of plans the identity test walks:
+// different pipeline cut points, tensor-parallel widths, data-parallel
+// degrees, and mixed row/col partition dims.
+func reshardConfigs(t *testing.T, g *model.Graph) map[string]*config.Config {
+	cfgs := map[string]*config.Config{
+		"pp1":        uniformCfg(t, g, 1, 1, 1, 1, 4),
+		"pp2":        uniformCfg(t, g, 2, 1, 1, 1, 4),
+		"pp4":        uniformCfg(t, g, 4, 1, 1, 1, 4),
+		"tp4":        uniformCfg(t, g, 1, 4, 4, 1, 4),
+		"dp4":        uniformCfg(t, g, 1, 4, 1, 4, 8),
+		"tp2dp2":     uniformCfg(t, g, 1, 4, 2, 2, 4),
+		"pp2tp2":     uniformCfg(t, g, 2, 2, 2, 1, 4),
+		"pp2_tp2dp2": uniformCfg(t, g, 2, 4, 2, 2, 4),
+	}
+	// Row-parallel variant: shard matmul weights along rows instead
+	// (other op kinds have a single partition dim).
+	row := uniformCfg(t, g, 1, 4, 4, 1, 4)
+	for i := range row.Stages {
+		st := &row.Stages[i]
+		for j := st.Start; j < st.End; j++ {
+			if g.Ops[j].Kind == model.KindMatMul {
+				st.Setting(j).Dim = 1
+			}
+		}
+	}
+	if err := row.Validate(g, 4); err != nil {
+		t.Fatal(err)
+	}
+	cfgs["tp4row"] = row
+	return cfgs
+}
+
+// TestReshardRoundTripIsBitwiseIdentity is the tentpole equivalence
+// contract: for every pair of plans (A, B), shard-under-A → reshard to
+// B → reshard back to A must reproduce the exact float64 bits of the
+// original state — weights, biases, step and all four Adam moment maps.
+func TestReshardRoundTripIsBitwiseIdentity(t *testing.T) {
+	g := buildMLP(t)
+	cfgs := reshardConfigs(t, g)
+	base := uniformCfg(t, g, 2, 2, 2, 1, 4)
+	stA, p := trainedState(t, g, base)
+
+	for name, cfgB := range cfgs {
+		t.Run("via_"+name, func(t *testing.T) {
+			stB, err := Reshard(g, cfgB, stA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := Reshard(g, base, stB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, err := AssembleState(back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := p.MaxDiff(q); d != 0 {
+				t.Fatalf("A→%s→A differs by %g, want bitwise identity", name, d)
+			}
+			if back.Step != stA.Step || back.Seed != stA.Seed || back.Opt != stA.Opt {
+				t.Fatalf("scalar state lost in round trip: %+v vs %+v",
+					back.Step, stA.Step)
+			}
+		})
+	}
+}
+
+// TestReshardAllPairsAssemble: every plan's sharding covers the state
+// exactly (assembly succeeds and matches) — not just the round trip.
+func TestReshardAllPairsAssemble(t *testing.T) {
+	g := buildMLP(t)
+	cfgs := reshardConfigs(t, g)
+	base := uniformCfg(t, g, 1, 1, 1, 1, 4)
+	stA, p := trainedState(t, g, base)
+	for name, cfg := range cfgs {
+		st, err := Reshard(g, cfg, stA)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		q, err := AssembleState(st)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d := p.MaxDiff(q); d != 0 {
+			t.Errorf("%s: assembled state differs by %g", name, d)
+		}
+	}
+}
+
+// TestBytesMovedZeroForIdentity: resharding a state onto its own plan
+// moves nothing; onto a different plan it moves something.
+func TestBytesMovedZeroForIdentity(t *testing.T) {
+	g := buildMLP(t)
+	cfgA := uniformCfg(t, g, 2, 2, 2, 1, 4)
+	cfgB := uniformCfg(t, g, 1, 4, 4, 1, 4)
+	stA, _ := trainedState(t, g, cfgA)
+
+	same, err := Reshard(g, cfgA, stA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := BytesMoved(stA, same, nil, nil); b != 0 {
+		t.Errorf("identity reshard moved %d bytes, want 0", b)
+	}
+
+	stB, err := Reshard(g, cfgB, stA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := BytesMoved(stA, stB, nil, nil); b <= 0 {
+		t.Errorf("cross-plan reshard moved %d bytes, want > 0", b)
+	}
+}
+
+// TestBytesMovedRankMapping: with a rank-mapping that relocates every
+// destination rank to a different physical device, even an identical
+// plan must move all its bytes.
+func TestBytesMovedRankMapping(t *testing.T) {
+	g := buildMLP(t)
+	cfg := uniformCfg(t, g, 2, 2, 2, 1, 4)
+	st, _ := trainedState(t, g, cfg)
+	shift := func(r int) int { return r + 100 } // disjoint physical ranks
+	moved := BytesMoved(st, st, nil, shift)
+	var total int64
+	for ri := range st.Ranks {
+		for ti := range st.Ranks[ri].Tensors {
+			total += int64(len(st.Ranks[ri].Tensors[ti].Data)) * 8
+		}
+	}
+	if moved != total {
+		t.Errorf("full relocation moved %d bytes, want all %d", moved, total)
+	}
+}

@@ -36,6 +36,17 @@ const (
 	DiffTrialsTotal      = "aceso_diff_trials_total"
 	DiffViolationsTotal  = "aceso_diff_violations_total"
 	DiffShrinkStepsTotal = "aceso_diff_shrink_steps_total"
+
+	// Elastic-training runtime (internal/elastic): fault recovery,
+	// checkpointing and state resharding.
+	ElasticFaultsInjectedTotal    = "aceso_elastic_faults_injected_total"
+	ElasticCheckpointsTotal       = "aceso_elastic_checkpoints_total"
+	ElasticRestoresTotal          = "aceso_elastic_restores_total"
+	ElasticReshardsTotal          = "aceso_elastic_reshards_total"
+	ElasticReshardBytesMovedTotal = "aceso_elastic_reshard_bytes_moved_total"
+	// ElasticRecovery is a Timer; the snapshot suffixes it with
+	// _seconds_total and _count.
+	ElasticRecovery = "aceso_elastic_recovery"
 )
 
 // Counter is a monotonic (or Set-overwritten snapshot) integer metric.

@@ -13,10 +13,12 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"sync"
+	"time"
 
 	"aceso/internal/comm"
 	"aceso/internal/config"
@@ -57,36 +59,53 @@ const (
 	adamEps   = 1e-8
 )
 
-// Params holds the weights of an executable graph: per op ID, a
-// weight matrix and a 1×out bias (gain/bias for layer norms). Arch is
-// non-nil for transformer graphs (see InitParamsArch). Opt selects the
-// update rule; Adam keeps first/second-moment state per parameter.
+// Params holds the full training state of an executable graph: per op
+// ID, a weight matrix and a 1×out bias (gain/bias for layer norms).
+// Arch is non-nil for transformer graphs (see InitParamsArch). Opt
+// selects the update rule; Adam keeps first/second-moment state per
+// parameter in MW/VW/MB/VB. Step counts completed optimizer steps —
+// Adam's bias correction depends on it, so a checkpoint that loses
+// Step silently changes the training trajectory on resume. Seed
+// records the RNG cursor the weights were drawn from (checkpoint
+// provenance).
 type Params struct {
 	W    map[int]*tensor.Mat
 	B    map[int]*tensor.Mat
 	Arch *Arch
 	Opt  Optimizer
 
-	// Adam state (lazily sized by ensureOptState before training;
-	// stages update disjoint op IDs, so no locking is needed).
-	mW, vW map[int]*tensor.Mat
-	mB, vB map[int]*tensor.Mat
+	// Step is the number of optimizer steps already applied. Serial
+	// and Parallel resume Adam's bias correction from Step+1 and
+	// advance it by the iterations they complete.
+	Step int
+
+	// Seed is the RNG cursor the parameters were initialized from.
+	Seed int64
+
+	// Adam first/second-moment state, keyed like W and B (lazily sized
+	// by EnsureOptState before training; stages update disjoint op IDs,
+	// so no locking is needed). Checkpoints must capture these four
+	// maps: losing them resets the optimizer's memory on resume.
+	MW, VW map[int]*tensor.Mat
+	MB, VB map[int]*tensor.Mat
 }
 
-// ensureOptState sizes the Adam moment buffers. It must run before
+// EnsureOptState sizes the Adam moment buffers. It must run before
 // concurrent stage goroutines start (map writes are not synchronized).
-func (p *Params) ensureOptState() {
-	if p.Opt != Adam || p.mW != nil {
+// Exported so the checkpoint layer can shard a not-yet-trained Adam
+// state deterministically.
+func (p *Params) EnsureOptState() {
+	if p.Opt != Adam || p.MW != nil {
 		return
 	}
-	p.mW, p.vW = map[int]*tensor.Mat{}, map[int]*tensor.Mat{}
-	p.mB, p.vB = map[int]*tensor.Mat{}, map[int]*tensor.Mat{}
+	p.MW, p.VW = map[int]*tensor.Mat{}, map[int]*tensor.Mat{}
+	p.MB, p.VB = map[int]*tensor.Mat{}, map[int]*tensor.Mat{}
 	for id, w := range p.W {
-		p.mW[id] = tensor.New(w.Rows, w.Cols)
-		p.vW[id] = tensor.New(w.Rows, w.Cols)
+		p.MW[id] = tensor.New(w.Rows, w.Cols)
+		p.VW[id] = tensor.New(w.Rows, w.Cols)
 		b := p.B[id]
-		p.mB[id] = tensor.New(1, b.Cols)
-		p.vB[id] = tensor.New(1, b.Cols)
+		p.MB[id] = tensor.New(1, b.Cols)
+		p.VB[id] = tensor.New(1, b.Cols)
 	}
 }
 
@@ -96,7 +115,7 @@ func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 // InitParams initializes deterministic weights for every linear op.
 func InitParams(g *model.Graph, seed int64) *Params {
 	rng := rand.New(rand.NewSource(seed))
-	p := &Params{W: map[int]*tensor.Mat{}, B: map[int]*tensor.Mat{}}
+	p := &Params{W: map[int]*tensor.Mat{}, B: map[int]*tensor.Mat{}, Seed: seed}
 	for i := range g.Ops {
 		op := &g.Ops[i]
 		dim := int(op.ActElems)
@@ -126,21 +145,49 @@ func InitParams(g *model.Graph, seed int64) *Params {
 	return p
 }
 
-// Clone deep-copies the parameters (optimizer state starts fresh).
+// Clone deep-copies the full training state: weights, biases, the
+// step counter and — critically for checkpoints — the Adam moment
+// maps. A shallow alias of MW/VW/MB/VB here would let a "snapshot"
+// keep training along with the live parameters, silently corrupting
+// every checkpoint built from it.
 func (p *Params) Clone() *Params {
-	out := &Params{W: map[int]*tensor.Mat{}, B: map[int]*tensor.Mat{}, Arch: p.Arch, Opt: p.Opt}
+	out := &Params{
+		W: map[int]*tensor.Mat{}, B: map[int]*tensor.Mat{},
+		Arch: p.Arch, Opt: p.Opt, Step: p.Step, Seed: p.Seed,
+	}
 	for k, v := range p.W {
 		out.W[k] = v.Clone()
 	}
 	for k, v := range p.B {
 		out.B[k] = v.Clone()
 	}
+	out.MW = cloneMatMap(p.MW)
+	out.VW = cloneMatMap(p.VW)
+	out.MB = cloneMatMap(p.MB)
+	out.VB = cloneMatMap(p.VB)
+	return out
+}
+
+func cloneMatMap(m map[int]*tensor.Mat) map[int]*tensor.Mat {
+	if m == nil {
+		return nil
+	}
+	out := make(map[int]*tensor.Mat, len(m))
+	for k, v := range m {
+		out[k] = v.Clone()
+	}
 	return out
 }
 
 // MaxDiff returns the largest element-wise difference between two
-// parameter sets.
+// complete training states: weights, biases and Adam moments. A step
+// mismatch — or optimizer state present on one side only — is an
+// unbounded divergence (+Inf): the two states cannot produce the same
+// continuation, no matter how close the weights look.
 func (p *Params) MaxDiff(q *Params) float64 {
+	if p.Step != q.Step {
+		return math.Inf(1)
+	}
 	var max float64
 	for k, v := range p.W {
 		if d := tensor.MaxAbsDiff(v, q.W[k]); d > max {
@@ -150,6 +197,20 @@ func (p *Params) MaxDiff(q *Params) float64 {
 	for k, v := range p.B {
 		if d := tensor.MaxAbsDiff(v, q.B[k]); d > max {
 			max = d
+		}
+	}
+	for _, pair := range [][2]map[int]*tensor.Mat{{p.MW, q.MW}, {p.VW, q.VW}, {p.MB, q.MB}, {p.VB, q.VB}} {
+		a, b := pair[0], pair[1]
+		if (a == nil) != (b == nil) {
+			return math.Inf(1)
+		}
+		for k, v := range a {
+			if b[k] == nil {
+				return math.Inf(1)
+			}
+			if d := tensor.MaxAbsDiff(v, b[k]); d > max {
+				max = d
+			}
 		}
 	}
 	return max
@@ -181,7 +242,8 @@ func Serial(g *model.Graph, p *Params, x, y *tensor.Mat, microBatch int, lr floa
 	}
 	mbRows := microBatch * rps
 	numMB := x.Rows / mbRows
-	p.ensureOptState()
+	p.EnsureOptState()
+	base := p.Step
 	losses := make([]float64, 0, iters)
 	opIDs := make([]int, len(g.Ops))
 	for i := range opIDs {
@@ -234,9 +296,10 @@ func Serial(g *model.Graph, p *Params, x, y *tensor.Mat, microBatch int, lr floa
 				}
 			}
 		}
-		applyUpdate(p, acc, lr, 1/float64(numMB), it+1)
+		applyUpdate(p, acc, lr, 1/float64(numMB), base+it+1)
 		losses = append(losses, lossSum/float64(numMB))
 	}
+	p.Step = base + iters
 	return losses, nil
 }
 
@@ -245,8 +308,8 @@ func Serial(g *model.Graph, p *Params, x, y *tensor.Mat, microBatch int, lr floa
 // 1-based iteration count (Adam bias correction).
 func applyUpdate(p *Params, acc *grads, lr, gradScale float64, step int) {
 	for id, dw := range acc.W {
-		updateTensor(p, id, p.W[id], dw, p.mW, p.vW, lr, gradScale, step)
-		updateTensor(p, id, p.B[id], acc.B[id], p.mB, p.vB, lr, gradScale, step)
+		updateTensor(p, id, p.W[id], dw, p.MW, p.VW, lr, gradScale, step)
+		updateTensor(p, id, p.B[id], acc.B[id], p.MB, p.VB, lr, gradScale, step)
 	}
 }
 
@@ -295,19 +358,50 @@ func checkData(g *model.Graph, x, y *tensor.Mat, microBatch, rowsPerSample int) 
 	return nil
 }
 
-// Parallel trains the MLP under cfg — concurrent pipeline stages,
-// column/row tensor parallelism, data-parallel row sharding,
-// microbatching and recomputation — and returns per-iteration losses.
-// The final parameters are written back into p; they must match
-// Serial's up to floating-point summation order.
-func Parallel(g *model.Graph, cfg *config.Config, p *Params, x, y *tensor.Mat, lr float64, iters int) ([]float64, error) {
-	rps := p.rowsPerSample()
-	if err := checkData(g, x, y, cfg.MicroBatch, rps); err != nil {
-		return nil, err
-	}
-	if err := cfg.Validate(g, cfg.TotalDevices()); err != nil {
-		return nil, fmt.Errorf("runtime: %w", err)
-	}
+// FaultPlan injects a device failure into a ParallelOpts run: the
+// device with global rank Rank dies at the start of iteration
+// Iteration (0-based, counted within the run). The stage hosting the
+// device surfaces a typed *DeviceLostError at that iteration boundary
+// and the World marks the stage's ranks dead, so every other stage
+// fails fast through the comm layer instead of deadlocking.
+type FaultPlan struct {
+	Rank      int
+	Iteration int
+}
+
+// RunOptions tunes a ParallelOpts execution beyond the core training
+// arguments. The zero value reproduces Parallel exactly.
+type RunOptions struct {
+	// Fault, when non-nil, kills a device mid-run (see FaultPlan).
+	Fault *FaultPlan
+	// CommDeadline bounds every collective/p2p wait; 0 = unbounded.
+	// Any elastic or chaos caller should set it: it converts a bug
+	// that would deadlock the World into a typed timeout error.
+	CommDeadline time.Duration
+}
+
+// DeviceLostError reports a device failure injected (or detected) at
+// an iteration boundary. Step is the global optimizer step count at
+// the failure point — the resume floor for checkpoint recovery.
+type DeviceLostError struct {
+	Rank      int // the lost device's global rank
+	Stage     int // pipeline stage hosting the device
+	Iteration int // run-local iteration at whose start it died
+	Step      int // global optimizer steps completed before the loss
+}
+
+// Error implements the error interface.
+func (e *DeviceLostError) Error() string {
+	return fmt.Sprintf("runtime: device %d (stage %d) lost at iteration %d (step %d)",
+		e.Rank, e.Stage, e.Iteration, e.Step)
+}
+
+// CheckRunnable verifies that the numeric runtime can execute cfg with
+// the given parameters: every op kind is supported, weights exist and
+// divide by their tensor-parallel degrees. Exported so elastic
+// replanning can filter searched candidates down to executable ones
+// before committing a resharded state to one of them.
+func CheckRunnable(g *model.Graph, cfg *config.Config, p *Params) error {
 	for si := range cfg.Stages {
 		st := &cfg.Stages[si]
 		for j := st.Start; j < st.End; j++ {
@@ -317,18 +411,18 @@ func Parallel(g *model.Graph, cfg *config.Config, p *Params, x, y *tensor.Mat, l
 			case model.KindMatMul:
 				w := p.W[j]
 				if w == nil {
-					return nil, fmt.Errorf("runtime: op %d has no weights", j)
+					return fmt.Errorf("runtime: op %d has no weights", j)
 				}
 				if w.Cols%set.TP != 0 || w.Rows%set.TP != 0 {
-					return nil, fmt.Errorf("runtime: op %d weight %d×%d not divisible by tp %d",
+					return fmt.Errorf("runtime: op %d weight %d×%d not divisible by tp %d",
 						j, w.Rows, w.Cols, set.TP)
 				}
 			case model.KindAttentionCore:
 				if p.Arch == nil {
-					return nil, fmt.Errorf("runtime: attention op %d needs Arch params", j)
+					return fmt.Errorf("runtime: attention op %d needs Arch params", j)
 				}
 				if p.Arch.Heads%set.TP != 0 {
-					return nil, fmt.Errorf("runtime: op %d: %d heads not divisible by tp %d",
+					return fmt.Errorf("runtime: op %d: %d heads not divisible by tp %d",
 						j, p.Arch.Heads, set.TP)
 				}
 			case model.KindLayerNorm, model.KindElementwise:
@@ -337,18 +431,59 @@ func Parallel(g *model.Graph, cfg *config.Config, p *Params, x, y *tensor.Mat, l
 				// Rejecting unknown kinds up front keeps the error out
 				// of the concurrent stage executors, where a failing
 				// stage would leave its neighbors blocked on Recv.
-				return nil, &UnsupportedOpError{Op: j, Kind: op.Kind}
+				return &UnsupportedOpError{Op: j, Kind: op.Kind}
 			}
 		}
 	}
+	return nil
+}
 
-	p.ensureOptState()
+// Parallel trains the MLP under cfg — concurrent pipeline stages,
+// column/row tensor parallelism, data-parallel row sharding,
+// microbatching and recomputation — and returns per-iteration losses.
+// The final parameters are written back into p; they must match
+// Serial's up to floating-point summation order.
+func Parallel(g *model.Graph, cfg *config.Config, p *Params, x, y *tensor.Mat, lr float64, iters int) ([]float64, error) {
+	return ParallelOpts(g, cfg, p, x, y, lr, iters, RunOptions{})
+}
+
+// ParallelOpts is Parallel with fault injection and comm deadlines.
+//
+// On a device loss (injected via opt.Fault, or any comm-layer failure)
+// it returns the losses of the iterations the last stage completed
+// plus a typed error — *DeviceLostError when a planned fault fired.
+// The parameter state p is torn in that case (stages stop at
+// different iterations) and must be restored from a checkpoint; that
+// is exactly the contract the elastic layer is built around.
+func ParallelOpts(g *model.Graph, cfg *config.Config, p *Params, x, y *tensor.Mat, lr float64, iters int, opt RunOptions) ([]float64, error) {
+	rps := p.rowsPerSample()
+	if err := checkData(g, x, y, cfg.MicroBatch, rps); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(g, cfg.TotalDevices()); err != nil {
+		return nil, fmt.Errorf("runtime: %w", err)
+	}
+	if err := CheckRunnable(g, cfg, p); err != nil {
+		return nil, err
+	}
+
+	p.EnsureOptState()
 	world, err := comm.NewWorld(cfg.TotalDevices())
 	if err != nil {
 		return nil, fmt.Errorf("runtime: %w", err)
 	}
+	world.SetDeadline(opt.CommDeadline)
+	if f := opt.Fault; f != nil {
+		if f.Rank < 0 || f.Rank >= cfg.TotalDevices() {
+			return nil, fmt.Errorf("runtime: fault rank %d out of range [0, %d)", f.Rank, cfg.TotalDevices())
+		}
+		if f.Iteration < 0 || f.Iteration >= iters {
+			return nil, fmt.Errorf("runtime: fault iteration %d out of range [0, %d)", f.Iteration, iters)
+		}
+	}
 	numMB := g.GlobalBatch / cfg.MicroBatch
 	p0 := cfg.NumStages()
+	base := p.Step
 
 	type stageOut struct {
 		losses []float64
@@ -364,18 +499,39 @@ func Parallel(g *model.Graph, cfg *config.Config, p *Params, x, y *tensor.Mat, l
 				g: g, cfg: cfg, si: si, st: &cfg.Stages[si],
 				world: world, params: p,
 				firstDev: cfg.FirstDev(si),
+				baseStep: base,
+				fault:    opt.Fault,
 			}
 			losses, err := ex.run(x, y, lr, iters, numMB)
+			if err != nil {
+				// Cascade: a failed stage takes its ranks down so
+				// neighbors blocked on its traffic fail fast instead of
+				// waiting out the deadline (or hanging without one).
+				world.FailRange(ex.firstDev, ex.st.Devices)
+			}
 			outs[si] = stageOut{losses, err}
 		}(si)
 	}
 	wg.Wait()
+
+	// Partial losses: whatever the last stage completed before the run
+	// ended (all of them on success).
+	losses := outs[p0-1].losses
+	// A planned fault is the root cause — report it over the secondary
+	// comm errors the other stages died of.
 	for si := range outs {
-		if outs[si].err != nil {
-			return nil, fmt.Errorf("runtime: stage %d: %w", si, outs[si].err)
+		var dl *DeviceLostError
+		if errors.As(outs[si].err, &dl) {
+			return losses, fmt.Errorf("runtime: stage %d: %w", si, outs[si].err)
 		}
 	}
-	return outs[p0-1].losses, nil
+	for si := range outs {
+		if outs[si].err != nil {
+			return losses, fmt.Errorf("runtime: stage %d: %w", si, outs[si].err)
+		}
+	}
+	p.Step = base + iters
+	return losses, nil
 }
 
 // acts is the in-stage activation state: dp row-shards, each either a
@@ -420,6 +576,13 @@ type stageExec struct {
 	world    *comm.World
 	params   *Params
 	firstDev int
+	baseStep int        // optimizer steps completed before this run
+	fault    *FaultPlan // nil unless a failure is scheduled
+}
+
+// ownsRank reports whether the fault's rank lives on this stage.
+func (e *stageExec) ownsRank(rank int) bool {
+	return rank >= e.firstDev && rank < e.firstDev+e.st.Devices
 }
 
 // tpGroup returns the global ranks of replica d's tensor-parallel
@@ -434,20 +597,27 @@ func (e *stageExec) tpGroup(d, tp int) []int {
 }
 
 // tpAllReduce sums parts across the tp group using one goroutine per
-// rank — the runtime's NCCL-equivalent path.
-func (e *stageExec) tpAllReduce(d int, parts []*tensor.Mat) *tensor.Mat {
+// rank — the runtime's NCCL-equivalent path. Any rank's comm failure
+// fails the whole group-local reduce.
+func (e *stageExec) tpAllReduce(d int, parts []*tensor.Mat) (*tensor.Mat, error) {
 	group := e.tpGroup(d, len(parts))
 	outs := make([]*tensor.Mat, len(parts))
+	errs := make([]error, len(parts))
 	var wg sync.WaitGroup
 	for t := range parts {
 		wg.Add(1)
 		go func(t int) {
 			defer wg.Done()
-			outs[t] = e.world.AllReduceSum(group, group[t], parts[t])
+			outs[t], errs[t] = e.world.AllReduceSum(group, group[t], parts[t])
 		}(t)
 	}
 	wg.Wait()
-	return outs[0]
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs[0], nil
 }
 
 // stash holds what one microbatch's backward needs: the input acts of
@@ -527,7 +697,10 @@ func (e *stageExec) forwardOp(j int, a *acts) (*acts, error) {
 					wt := tensor.RowSlice(w, t*shard, (t+1)*shard)
 					partials[t] = tensor.MatMul(xt, wt)
 				}
-				sum := e.tpAllReduce(d, partials)
+				sum, err := e.tpAllReduce(d, partials)
+				if err != nil {
+					return nil, err
+				}
 				out.tp = 1
 				out.layout = model.Replicated
 				out.parts[d] = []*tensor.Mat{tensor.AddBias(sum, b)}
@@ -650,7 +823,11 @@ func (e *stageExec) backwardOp(j int, in, d *acts, acc *grads) (*acts, error) {
 					wt := tensor.ColSlice(w, t*shard, (t+1)*shard)
 					partials[t] = tensor.MatMul(dyParts[t], tensor.Transpose(wt))
 				}
-				out.parts[dp] = []*tensor.Mat{e.tpAllReduce(dp, partials)}
+				dx, err := e.tpAllReduce(dp, partials)
+				if err != nil {
+					return nil, err
+				}
+				out.parts[dp] = []*tensor.Mat{dx}
 			} else {
 				// Row-parallel: dY is replicated; X was column-split.
 				shard := w.Rows / set.TP
@@ -786,6 +963,15 @@ func (e *stageExec) run(x, y *tensor.Mat, lr float64, iters, numMB int) ([]float
 
 	var losses []float64
 	for it := 0; it < iters; it++ {
+		// Planned fault: the owning stage dies at the top of iteration
+		// `it`, before any traffic for it. Marking the stage's ranks dead
+		// first makes every peer blocked on them fail fast through comm.
+		if f := e.fault; f != nil && it == f.Iteration && e.ownsRank(f.Rank) {
+			e.world.FailRange(e.firstDev, e.st.Devices)
+			return losses, &DeviceLostError{
+				Rank: f.Rank, Stage: e.si, Iteration: it, Step: e.baseStep + it,
+			}
+		}
 		acc := newGrads(e.params, opIDs)
 		stashes := make([]*stash, numMB)
 		dTop := make([]*tensor.Mat, numMB)
@@ -795,11 +981,15 @@ func (e *stageExec) run(x, y *tensor.Mat, lr float64, iters, numMB int) ([]float
 			if prevDev < 0 {
 				in = tensor.RowSlice(x, mb*mbRows, (mb+1)*mbRows)
 			} else {
-				in = e.world.Recv(prevDev, e.firstDev, tag("fwd", it, mb))
+				var err error
+				in, err = e.world.Recv(prevDev, e.firstDev, tag("fwd", it, mb))
+				if err != nil {
+					return losses, err
+				}
 			}
 			s, err := e.forward(in, false)
 			if err != nil {
-				return nil, err
+				return losses, err
 			}
 			stashes[mb] = s
 			if last {
@@ -809,7 +999,9 @@ func (e *stageExec) run(x, y *tensor.Mat, lr float64, iters, numMB int) ([]float
 				lossSum += loss
 				dTop[mb] = d
 			} else {
-				e.world.Send(e.firstDev, nextDev, tag("fwd", it, mb), s.output.full())
+				if err := e.world.Send(e.firstDev, nextDev, tag("fwd", it, mb), s.output.full()); err != nil {
+					return losses, err
+				}
 			}
 		}
 		for mb := numMB - 1; mb >= 0; mb-- {
@@ -817,17 +1009,23 @@ func (e *stageExec) run(x, y *tensor.Mat, lr float64, iters, numMB int) ([]float
 			if last {
 				d = dTop[mb]
 			} else {
-				d = e.world.Recv(nextDev, e.firstDev, tag("bwd", it, mb))
+				var err error
+				d, err = e.world.Recv(nextDev, e.firstDev, tag("bwd", it, mb))
+				if err != nil {
+					return losses, err
+				}
 			}
 			dIn, err := e.backward(stashes[mb], d, acc)
 			if err != nil {
-				return nil, err
+				return losses, err
 			}
 			if prevDev >= 0 {
-				e.world.Send(e.firstDev, prevDev, tag("bwd", it, mb), dIn)
+				if err := e.world.Send(e.firstDev, prevDev, tag("bwd", it, mb), dIn); err != nil {
+					return losses, err
+				}
 			}
 		}
-		applyUpdate(e.params, acc, lr, 1/float64(numMB), it+1)
+		applyUpdate(e.params, acc, lr, 1/float64(numMB), e.baseStep+it+1)
 		if last {
 			losses = append(losses, lossSum/float64(numMB))
 		}
