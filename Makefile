@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test ci bench-search chaos fuzz-smoke trace-smoke diff-smoke elastic-smoke
+.PHONY: build test ci bench-search bench-guard bench-scale chaos fuzz-smoke trace-smoke diff-smoke elastic-smoke
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,10 @@ test:
 # the packages that share caches across goroutines (the search workers
 # and the perfmodel stage cache), a fuzz smoke over every corpus-seeded
 # fuzz target, a one-iteration smoke of the search-throughput benchmark
-# so hot-path regressions fail loudly, a traced-search smoke (the
-# breakdown auditor fails the build on any resource-accounting
+# so hot-path regressions fail loudly, the benchmark guard (explored
+# must match the committed BENCH_search.json exactly; ns/op and
+# allocs/op must stay within tolerance of it), a traced-search smoke
+# (the breakdown auditor fails the build on any resource-accounting
 # violation), a short chaos run — which also audits every trial's
 # estimates — the differential model-vs-simulator smoke (5k effects-off
 # tuples; any Eq.1/Eq.2 invariant violation fails the build and leaves
@@ -23,9 +25,10 @@ test:
 ci: build
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/core/... ./internal/perfmodel/...
+	$(GO) test -race ./internal/core/... ./internal/perfmodel/... ./internal/memo/...
 	$(MAKE) fuzz-smoke
 	$(GO) test -run xxx -bench BenchmarkSearchThroughput -benchtime 1x .
+	$(MAKE) bench-guard
 	$(MAKE) trace-smoke
 	$(MAKE) chaos CHAOS_DURATION=10s
 	$(MAKE) diff-smoke
@@ -76,3 +79,17 @@ chaos:
 # "current" block of BENCH_search.json (the recorded baseline is kept).
 bench-search:
 	$(GO) run ./cmd/acesobench search
+
+# bench-guard re-measures search throughput and checks it against the
+# committed BENCH_search.json without rewriting it: the explored count
+# must match exactly (the search is bit-identical by contract) and
+# ns/op / allocs/op must stay within the guard tolerances. Part of ci.
+bench-guard:
+	$(GO) run ./cmd/acesobench -guard search
+
+# bench-scale runs the thousand-device scale benchmark (1024/2048/4096
+# synthetic V100s, up to 10240-operator graphs) and rewrites
+# BENCH_scale.json, exiting non-zero if any explored count drifted from
+# the committed file.
+bench-scale:
+	$(GO) run ./cmd/acesobench scale

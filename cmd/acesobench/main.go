@@ -13,7 +13,24 @@
 // throughput on the fixed-iteration GPT-3 2.6B / 16-GPU setting of
 // BenchmarkSearchThroughput and writes BENCH_search.json (see
 // -benchfile), preserving any previously recorded baseline so the file
-// carries before/after numbers across optimization work.
+// carries before/after numbers across optimization work. With -guard
+// the target instead *checks* the committed file: it reruns the
+// measurement, leaves the file untouched, and exits non-zero if the
+// explored count drifted (the search is bit-identical by contract) or
+// ns/op / allocs/op regressed beyond -guard-ns-tol / -guard-alloc-tol.
+//
+// The extra target "scale" (not part of "all") runs the search on
+// synthetic thousand-device clusters — 1024, 2048 and 4096 V100s with
+// uniform graphs of 2560, 5120 and 10240 operators — under a fixed
+// iteration budget (-scale-iters) and writes BENCH_scale.json (see
+// -scalefile). Explored counts are the determinism fingerprint at
+// scale: when the committed file already has a row for a setting, a
+// differing count makes the run exit non-zero.
+//
+// Any target combination can be profiled with -cpuprofile and
+// -memprofile, which write pprof files covering everything the
+// invocation ran (the profiles are finalized even when a target fails;
+// see DESIGN.md §5g for the profiling workflow).
 //
 // The extra target "chaos" (not part of "all") runs the fault-injection
 // harness of internal/chaos for -chaos-duration (or -chaos-trials
@@ -56,6 +73,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -158,6 +176,120 @@ func emitSearchBench(path string, cur searchMeasurement) (searchBenchFile, error
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	return out, enc.Encode(out)
+}
+
+// scaleRow is one cluster/graph point of the scale benchmark.
+type scaleRow struct {
+	Devices     int     `json:"devices"`
+	Ops         int     `json:"ops"`
+	StageCounts []int   `json:"stage_counts"`
+	ElapsedMs   float64 `json:"elapsed_ms"`
+	Explored    int     `json:"explored"`
+	BestScore   float64 `json:"best_iter_time_seconds"`
+	AllocMB     float64 `json:"alloc_mb"`
+}
+
+// scaleBenchFile is the BENCH_scale.json schema. Explored counts are
+// the determinism fingerprint: wall times vary with the machine, but a
+// fixed-iteration search must visit exactly the same configurations on
+// every run, at any cluster size.
+type scaleBenchFile struct {
+	Setting       string     `json:"setting"`
+	MaxIterations int        `json:"max_iterations"`
+	Seed          int64      `json:"seed"`
+	Rows          []scaleRow `json:"rows"`
+}
+
+// scalePoints are the synthetic thousand-device settings of the scale
+// target: DGX-1-like nodes (8 V100s each) and uniform graphs sized so
+// the largest point is a 4096-device, 10240-operator search.
+var scalePoints = []struct{ nodes, ops int }{
+	{128, 2560},
+	{256, 5120},
+	{512, 10240},
+}
+
+// scaleStageCounts pins the pipeline depths searched per point. The
+// automatic set (§4.3) tops out at 32 stages anyway; pinning it keeps
+// the fingerprint independent of future auto-set changes.
+var scaleStageCounts = []int{8, 16, 32}
+
+// runScaleBench runs the fixed-iteration search on each scale point,
+// writes the report, and returns how many rows drifted from the
+// explored counts previously recorded in path.
+func runScaleBench(path string, iters int, seed int64, w io.Writer) (int, error) {
+	var prev scaleBenchFile
+	havePrev := false
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &prev); err == nil {
+			havePrev = prev.MaxIterations == iters && prev.Seed == seed
+		}
+	}
+	out := scaleBenchFile{
+		Setting: fmt.Sprintf("uniform synthetic graphs on DGX1V100 clusters, StageCounts=%v, MaxIterations=%d, Seed=%d, fixed-iteration",
+			scaleStageCounts, iters, seed),
+		MaxIterations: iters,
+		Seed:          seed,
+	}
+	drift := 0
+	for _, pt := range scalePoints {
+		g := model.Uniform(pt.ops, 1e9, 1e6, 1e5, 1024)
+		cl := hardware.DGX1V100(pt.nodes)
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		res, err := core.Search(g, cl, core.Options{
+			TimeBudget:    time.Hour, // iteration-bounded, like the search bench
+			MaxIterations: iters,
+			Seed:          seed,
+			StageCounts:   scaleStageCounts,
+		})
+		if err != nil {
+			return drift, fmt.Errorf("%d devices / %d ops: %w", cl.TotalDevices(), pt.ops, err)
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		row := scaleRow{
+			Devices:     cl.TotalDevices(),
+			Ops:         pt.ops,
+			StageCounts: scaleStageCounts,
+			ElapsedMs:   float64(elapsed.Nanoseconds()) / 1e6,
+			Explored:    res.Explored,
+			BestScore:   res.Best.Score,
+			AllocMB:     float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
+		}
+		out.Rows = append(out.Rows, row)
+		fmt.Fprintf(w, "scale: %4d devices, %5d ops: %8.0fms, %d explored, best %.4fs, %.0f MB allocated\n",
+			row.Devices, row.Ops, row.ElapsedMs, row.Explored, row.BestScore, row.AllocMB)
+		if havePrev {
+			for _, p := range prev.Rows {
+				if p.Devices == row.Devices && p.Ops == row.Ops {
+					if p.Explored != row.Explored {
+						drift++
+						fmt.Fprintf(w, "scale: DRIFT at %d devices / %d ops: explored %d, recorded %d\n",
+							row.Devices, row.Ops, row.Explored, p.Explored)
+					}
+					break
+				}
+			}
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return drift, err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return drift, err
+	}
+	if err := f.Close(); err != nil {
+		return drift, err
+	}
+	fmt.Fprintf(w, "scale: report → %s\n", path)
+	return drift, nil
 }
 
 // tracePoint is one convergence-curve sample in BENCH_trace.json.
@@ -485,6 +617,13 @@ func main() {
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	benchFile := flag.String("benchfile", "BENCH_search.json", "output path for the search throughput benchmark")
 	benchReps := flag.Int("benchreps", 3, "repetitions of the search throughput benchmark")
+	guard := flag.Bool("guard", false, "with the search target: check the committed -benchfile instead of rewriting it; exit non-zero on explored drift or regression beyond the tolerances")
+	guardNsTol := flag.Float64("guard-ns-tol", 0.5, "-guard: allowed fractional ns/op regression (wall time is machine-noisy; this catches order-of-magnitude slips, not jitter)")
+	guardAllocTol := flag.Float64("guard-alloc-tol", 0.1, "-guard: allowed fractional allocs/op regression (allocation counts are near-deterministic)")
+	scaleFile := flag.String("scalefile", "BENCH_scale.json", "output path for the scale target's report")
+	scaleIters := flag.Int("scale-iters", 2, "top-level iterations per stage count for the scale target")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile covering the selected targets to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 	chaosDur := flag.Duration("chaos-duration", 30*time.Second, "wall budget of the chaos target")
 	chaosTrials := flag.Int("chaos-trials", 0, "fixed trial count for the chaos target (0 = run until -chaos-duration)")
 	traceFile := flag.String("tracefile", "BENCH_trace.jsonl", "output path for the trace target's JSONL iteration trace")
@@ -525,9 +664,50 @@ func main() {
 	}
 
 	w := os.Stdout
+
+	// Profiling covers everything the invocation runs. finishProfiles is
+	// idempotent and runs even on a failing target, so a profile of the
+	// run that exposed a regression is never lost.
+	var cpuF *os.File
+	profilesDone := false
+	finishProfiles := func() {
+		if profilesDone {
+			return
+		}
+		profilesDone = true
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "acesobench: -memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "acesobench: -memprofile: %v\n", err)
+			}
+			f.Close()
+		}
+	}
 	fail := func(name string, err error) {
+		finishProfiles()
 		fmt.Fprintf(os.Stderr, "acesobench: %s: %v\n", name, err)
 		os.Exit(1)
+	}
+	defer finishProfiles()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail("cpuprofile", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fail("cpuprofile", err)
+		}
+		cpuF = f
 	}
 	toCSV := func(name string, write func(f io.Writer) error) {
 		if *csvDir == "" {
@@ -654,14 +834,52 @@ func main() {
 		if err != nil {
 			fail("search", err)
 		}
-		rec, err := emitSearchBench(*benchFile, cur)
-		if err != nil {
-			fail("search", err)
-		}
 		fmt.Fprintf(w, "search throughput: %d ns/op, %d explored, %d B/op, %d allocs/op\n",
 			cur.NsPerOp, cur.Explored, cur.BytesPerOp, cur.AllocsPerOp)
-		fmt.Fprintf(w, "baseline: %d ns/op (speedup %.2fx) — recorded in %s\n",
-			rec.Baseline.NsPerOp, rec.Speedup, *benchFile)
+		if *guard {
+			raw, err := os.ReadFile(*benchFile)
+			if err != nil {
+				fail("guard", fmt.Errorf("no committed benchmark to guard against: %w", err))
+			}
+			var rec searchBenchFile
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				fail("guard", err)
+			}
+			ref := rec.Current
+			switch {
+			case cur.Explored != ref.Explored:
+				fail("guard", fmt.Errorf("explored %d, recorded %d — the search is no longer bit-identical",
+					cur.Explored, ref.Explored))
+			case float64(cur.AllocsPerOp) > float64(ref.AllocsPerOp)*(1+*guardAllocTol):
+				fail("guard", fmt.Errorf("allocs/op %d exceeds recorded %d by more than %.0f%%",
+					cur.AllocsPerOp, ref.AllocsPerOp, *guardAllocTol*100))
+			case float64(cur.NsPerOp) > float64(ref.NsPerOp)*(1+*guardNsTol):
+				fail("guard", fmt.Errorf("ns/op %d exceeds recorded %d by more than %.0f%%",
+					cur.NsPerOp, ref.NsPerOp, *guardNsTol*100))
+			}
+			fmt.Fprintf(w, "guard: ok — explored matches, within %.0f%% ns/op and %.0f%% allocs/op of %s\n",
+				*guardNsTol*100, *guardAllocTol*100, *benchFile)
+		} else {
+			rec, err := emitSearchBench(*benchFile, cur)
+			if err != nil {
+				fail("search", err)
+			}
+			fmt.Fprintf(w, "baseline: %d ns/op (speedup %.2fx) — recorded in %s\n",
+				rec.Baseline.NsPerOp, rec.Speedup, *benchFile)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if want["scale"] { // deliberately not part of "all"
+		fmt.Fprintf(w, "running scale benchmark (%d points up to 4096 devices / 10240 ops, %d iterations, seed %d)...\n",
+			len(scalePoints), *scaleIters, *seed)
+		drift, err := runScaleBench(*scaleFile, *scaleIters, *seed, w)
+		if err != nil {
+			fail("scale", err)
+		}
+		if drift > 0 {
+			fail("scale", fmt.Errorf("%d rows drifted from the recorded explored counts", drift))
+		}
 		fmt.Fprintln(w)
 	}
 

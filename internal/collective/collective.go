@@ -31,7 +31,7 @@ const (
 )
 
 // PlacementFor derives the placement of a contiguous device range.
-func PlacementFor(c hardware.Cluster, firstDev, size int) Placement {
+func PlacementFor(c *hardware.Cluster, firstDev, size int) Placement {
 	if c.GroupSpansNodes(firstDev, size) {
 		return InterNode
 	}
@@ -42,7 +42,7 @@ func PlacementFor(c hardware.Cluster, firstDev, size int) Placement {
 // including any fault-spec derates (hardware.FaultSpec): a degraded
 // fabric slows every collective that crosses it, which is exactly the
 // signal the search needs to shift communication off the bad links.
-func linkOf(c hardware.Cluster, p Placement) (bw, lat float64) {
+func linkOf(c *hardware.Cluster, p Placement) (bw, lat float64) {
 	if p == InterNode {
 		return c.EffInterBW(), c.EffInterLat()
 	}
@@ -51,7 +51,7 @@ func linkOf(c hardware.Cluster, p Placement) (bw, lat float64) {
 
 // AllReduce returns the time (seconds) for a ring all-reduce of `bytes`
 // over a group of `size` devices with the given placement.
-func AllReduce(c hardware.Cluster, bytes float64, size int, p Placement) float64 {
+func AllReduce(c *hardware.Cluster, bytes float64, size int, p Placement) float64 {
 	if size <= 1 || bytes <= 0 {
 		return 0
 	}
@@ -62,7 +62,7 @@ func AllReduce(c hardware.Cluster, bytes float64, size int, p Placement) float64
 
 // AllGather returns the time for a ring all-gather where every rank
 // ends with `bytes` total (i.e. each contributes bytes/size).
-func AllGather(c hardware.Cluster, bytes float64, size int, p Placement) float64 {
+func AllGather(c *hardware.Cluster, bytes float64, size int, p Placement) float64 {
 	if size <= 1 || bytes <= 0 {
 		return 0
 	}
@@ -72,14 +72,14 @@ func AllGather(c hardware.Cluster, bytes float64, size int, p Placement) float64
 }
 
 // ReduceScatter returns the time for a ring reduce-scatter of `bytes`.
-func ReduceScatter(c hardware.Cluster, bytes float64, size int, p Placement) float64 {
+func ReduceScatter(c *hardware.Cluster, bytes float64, size int, p Placement) float64 {
 	// Same ring cost shape as all-gather.
 	return AllGather(c, bytes, size, p)
 }
 
 // P2P returns the time to move `bytes` between two devices with the
 // given placement (pipeline-stage boundary send/recv).
-func P2P(c hardware.Cluster, bytes float64, p Placement) float64 {
+func P2P(c *hardware.Cluster, bytes float64, p Placement) float64 {
 	if bytes <= 0 {
 		return 0
 	}

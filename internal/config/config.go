@@ -6,13 +6,40 @@ package config
 
 import (
 	"fmt"
-	"hash/fnv"
-	"io"
 	"strconv"
 	"strings"
+	"sync"
 
 	"aceso/internal/model"
 )
+
+// FNV-1a constants. Hashing is inlined instead of going through
+// hash/fnv: the stdlib hasher costs one allocation per New64a plus a
+// string→[]byte copy per io.WriteString, and Config.Hash is the single
+// hottest function of the search (DESIGN.md §5g). The fold below is
+// byte-identical to fnv.New64a().Write(...).Sum64(), so every memoized
+// hash — and every hash-based tie-break in the search — is unchanged.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvString folds s into an FNV-1a state.
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+// fnvBytes folds b into an FNV-1a state.
+func fnvBytes(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	return h
+}
+
 
 // OpSetting is the parallelization of a single operator inside its
 // pipeline stage. TP·DP always equals the stage's device count; the
@@ -72,26 +99,47 @@ func (s *Stage) Setting(op int) *OpSetting { return &s.Ops[op-s.Start] }
 // invalidate drops the stage's memoized segment and sub-hash.
 func (s *Stage) invalidate() { s.canon, s.sub = "", 0 }
 
+// segScratch recycles segment()'s build buffer: rebuilding a mutated
+// stage's segment is the second-hottest allocation site of the search,
+// and only the memoized string needs to outlive the call.
+var segScratch = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// appendDec is strconv.AppendInt specialized for the small
+// non-negative integers that dominate canonical segments (parallelism
+// degrees and op indices; one or two digits almost always).
+func appendDec(b []byte, v int) []byte {
+	if v >= 0 {
+		if v < 10 {
+			return append(b, byte('0'+v))
+		}
+		if v < 100 {
+			return append(b, byte('0'+v/10), byte('0'+v%10))
+		}
+	}
+	return strconv.AppendInt(b, int64(v), 10)
+}
+
 // segment returns the stage's canonical segment, computing and
 // memoizing it (and the sub-hash) on first use. The byte format is
 // identical to what Config.canonical historically produced.
 func (s *Stage) segment() string {
 	if s.canon == "" {
-		b := make([]byte, 0, 16+12*len(s.Ops))
+		bp := segScratch.Get().(*[]byte)
+		b := (*bp)[:0]
 		b = append(b, "s["...)
-		b = strconv.AppendInt(b, int64(s.Start), 10)
+		b = appendDec(b, s.Start)
 		b = append(b, ',')
-		b = strconv.AppendInt(b, int64(s.End), 10)
+		b = appendDec(b, s.End)
 		b = append(b, ")x"...)
-		b = strconv.AppendInt(b, int64(s.Devices), 10)
+		b = appendDec(b, s.Devices)
 		b = append(b, ':')
 		for j := range s.Ops {
 			op := &s.Ops[j]
-			b = strconv.AppendInt(b, int64(op.TP), 10)
+			b = appendDec(b, op.TP)
 			b = append(b, '.')
-			b = strconv.AppendInt(b, int64(op.DP), 10)
+			b = appendDec(b, op.DP)
 			b = append(b, '.')
-			b = strconv.AppendInt(b, int64(op.Dim), 10)
+			b = appendDec(b, op.Dim)
 			b = append(b, '.')
 			b = appendBit(b, op.Recompute)
 			b = append(b, '.')
@@ -102,9 +150,9 @@ func (s *Stage) segment() string {
 		}
 		b = append(b, ';')
 		s.canon = string(b)
-		h := fnv.New64a()
-		h.Write(b)
-		s.sub = h.Sum64()
+		s.sub = fnvBytes(fnvOffset64, b)
+		*bp = b
+		segScratch.Put(bp)
 	}
 	return s.canon
 }
@@ -141,6 +189,29 @@ type Config struct {
 	// mutation helpers below.
 	hash   uint64
 	hashOK bool
+
+	// hpfx caches FNV-1a prefix states: hpfx[i] is the hash state after
+	// folding the "mb=<n>;" prefix and stages [0..i]. hpfxN counts the
+	// valid entries — mutating stage k clamps it to k, changing the
+	// microbatch resets it to 0. Hash() resumes folding at the first
+	// invalid stage, so a clone-plus-single-stage-mutation neighbor
+	// re-folds only the stages from the mutation onward instead of the
+	// whole pipeline. The final hash value is identical either way:
+	// FNV-1a is a left fold, so the state after a byte prefix is a pure
+	// function of that prefix. (A cheaper stage-level fold of the
+	// memoized sub-hashes was tried and rejected: it changes hash
+	// values, and score ties broken by hash order make the exploration
+	// sequence — pinned by the benchmark baselines — drift.)
+	hpfx  []uint64
+	hpfxN int
+
+	// flat remembers the full backing array behind the stages' Ops
+	// slices (Clone carves per-stage windows out of one allocation,
+	// clamping each window's capacity — which hides the backing's true
+	// capacity from the arena). Total op count is invariant within one
+	// search, so a recycled config's flat always fits the next clone and
+	// CloneIn reuses it instead of allocating.
+	flat []OpSetting
 }
 
 // NumStages returns the pipeline depth.
@@ -254,19 +325,39 @@ func (c *Config) Validate(g *model.Graph, totalDevices int) error {
 // Clone returns a deep copy of the configuration. Memoized hashes are
 // carried over (they describe identical content), so a neighbor built
 // by Clone plus a mutation helper re-hashes only the mutated stage.
+//
+// All stages' op settings share one backing array, sliced with
+// cap==len per stage so an append on any stage's Ops reallocates
+// instead of clobbering its neighbor — the same semantics the old
+// exact-size per-stage allocations had, at three allocations per
+// clone instead of stages+2.
 func (c *Config) Clone() *Config {
 	out := &Config{
 		Stages:     make([]Stage, len(c.Stages)),
 		MicroBatch: c.MicroBatch,
 		hash:       c.hash,
 		hashOK:     c.hashOK,
+		hpfxN:      c.hpfxN,
 	}
+	if c.hpfxN > 0 {
+		out.hpfx = make([]uint64, c.hpfxN)
+		copy(out.hpfx, c.hpfx[:c.hpfxN])
+	}
+	total := 0
+	for i := range c.Stages {
+		total += len(c.Stages[i].Ops)
+	}
+	flat := make([]OpSetting, total)
+	out.flat = flat
+	off := 0
 	for i := range c.Stages {
 		s := c.Stages[i]
-		ops := make([]OpSetting, len(s.Ops))
-		copy(ops, s.Ops)
-		s.Ops = ops
+		n := len(s.Ops)
+		dst := flat[off : off+n : off+n]
+		copy(dst, s.Ops)
+		s.Ops = dst
 		out.Stages[i] = s
+		off += n
 	}
 	return out
 }
@@ -285,6 +376,7 @@ func (c *Config) Clone() *Config {
 func (c *Config) SetMicroBatch(mbs int) {
 	c.MicroBatch = mbs
 	c.hashOK = false
+	c.hpfxN = 0 // the mb prefix feeds every stage's fold state
 }
 
 // MutStage applies fn to stage i and invalidates its memoized hashes.
@@ -305,6 +397,9 @@ func (c *Config) MutOp(i, op int, fn func(*OpSetting)) {
 func (c *Config) InvalidateStage(i int) {
 	c.Stages[i].invalidate()
 	c.hashOK = false
+	if c.hpfxN > i {
+		c.hpfxN = i
+	}
 }
 
 // Invalidate drops every memoized hash. The escape hatch for code that
@@ -314,6 +409,7 @@ func (c *Config) Invalidate() {
 		c.Stages[i].invalidate()
 	}
 	c.hashOK = false
+	c.hpfxN = 0
 }
 
 // canonical writes the semantic content of the configuration in a
@@ -329,22 +425,43 @@ func (c *Config) canonical(sb *strings.Builder) {
 }
 
 // Hash returns the configuration-semantic hash used for search
-// deduplication (§4.3): FNV-1a over the canonical form. Memoized; on
-// a Clone-plus-mutation neighbor only mutated stages are re-hashed.
+// deduplication (§4.3): FNV-1a over the canonical form. Memoized two
+// ways: a valid hash returns instantly, and otherwise the fold resumes
+// from the cached prefix state of the last unmutated stage — a
+// neighbor that mutated stage k re-folds only segments k..p-1 instead
+// of the whole canonical form.
 func (c *Config) Hash() uint64 {
 	if c.hashOK {
 		return c.hash
 	}
-	h := fnv.New64a()
-	var buf [16]byte
-	b := append(buf[:0], "mb="...)
-	b = strconv.AppendInt(b, int64(c.MicroBatch), 10)
-	b = append(b, ';')
-	h.Write(b)
-	for i := range c.Stages {
-		io.WriteString(h, c.Stages[i].segment())
+	p := len(c.Stages)
+	i := c.hpfxN
+	if i > p {
+		i = p // defensive: stages were truncated without Invalidate
 	}
-	c.hash = h.Sum64()
+	if cap(c.hpfx) >= p {
+		c.hpfx = c.hpfx[:p]
+	} else {
+		np := make([]uint64, p)
+		copy(np, c.hpfx[:i])
+		c.hpfx = np
+	}
+	var h uint64
+	if i == 0 {
+		var buf [16]byte
+		b := append(buf[:0], "mb="...)
+		b = strconv.AppendInt(b, int64(c.MicroBatch), 10)
+		b = append(b, ';')
+		h = fnvBytes(fnvOffset64, b)
+	} else {
+		h = c.hpfx[i-1]
+	}
+	for ; i < p; i++ {
+		h = fnvString(h, c.Stages[i].segment())
+		c.hpfx[i] = h
+	}
+	c.hpfxN = p
+	c.hash = h
 	c.hashOK = true
 	return c.hash
 }

@@ -62,7 +62,7 @@ func TestIncrementalEstimateEquivalence(t *testing.T) {
 		opts:     Options{ExtendedPrimitives: true}.withDefaults(),
 		deadline: time.Now().Add(time.Hour),
 		visited:  make(map[uint64]bool),
-		pool:     make(map[uint64]*Candidate),
+		pool:     make(map[uint64]Candidate),
 		cache:    make(map[uint64]*perfmodel.Estimate),
 	}
 

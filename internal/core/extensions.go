@@ -27,33 +27,43 @@ var ExtensionTable = []Primitive{
 		apply: applyDecSP},
 }
 
+// extendedByResource memoizes EligibleExtended per resource. Built as
+// fresh slices (not appended onto Eligible's memo, whose backing array
+// must never be extended in place) so lookups are allocation-free and
+// safe under the concurrent stage-count searches.
+var extendedByResource = func() (m [3][]*Primitive) {
+	for _, r := range []Resource{Comp, Comm, Mem} {
+		m[r] = append([]*Primitive(nil), Eligible(r)...)
+		for i := range ExtensionTable {
+			if ExtensionTable[i].effect(r) == Down {
+				m[r] = append(m[r], &ExtensionTable[i])
+			}
+		}
+	}
+	return m
+}()
+
 // EligibleExtended returns the primitives (base plus extension table)
 // that decrease consumption of r.
 func EligibleExtended(r Resource) []*Primitive {
-	out := Eligible(r)
-	for i := range ExtensionTable {
-		if ExtensionTable[i].effect(r) == Down {
-			out = append(out, &ExtensionTable[i])
-		}
-	}
-	return out
+	return extendedByResource[r]
 }
 
 func applyIncZR(s *searcher, cfg *config.Config, stage int) []*config.Config {
-	return toggleZeRO(cfg, stage, true)
+	return toggleZeRO(s, cfg, stage, true)
 }
 
 func applyIncSP(s *searcher, cfg *config.Config, stage int) []*config.Config {
-	return toggleSeqPar(cfg, stage, true)
+	return toggleSeqPar(s, cfg, stage, true)
 }
 
 func applyDecSP(s *searcher, cfg *config.Config, stage int) []*config.Config {
-	return toggleSeqPar(cfg, stage, false)
+	return toggleSeqPar(s, cfg, stage, false)
 }
 
 // toggleSeqPar flips sequence parallelism for every eligible op
 // (tp > 1) in the stage. Returns nil when nothing would change.
-func toggleSeqPar(cfg *config.Config, stage int, on bool) []*config.Config {
+func toggleSeqPar(s *searcher, cfg *config.Config, stage int, on bool) []*config.Config {
 	st := &cfg.Stages[stage]
 	changed := false
 	for j := range st.Ops {
@@ -64,7 +74,7 @@ func toggleSeqPar(cfg *config.Config, stage int, on bool) []*config.Config {
 	if !changed {
 		return nil
 	}
-	c := cfg.Clone()
+	c := s.clone(cfg)
 	c.MutStage(stage, func(st *config.Stage) {
 		for j := range st.Ops {
 			if st.Ops[j].TP > 1 {
@@ -72,16 +82,16 @@ func toggleSeqPar(cfg *config.Config, stage int, on bool) []*config.Config {
 			}
 		}
 	})
-	return []*config.Config{c}
+	return s.keepOut(append(s.applyOut(), c))
 }
 
 func applyDecZR(s *searcher, cfg *config.Config, stage int) []*config.Config {
-	return toggleZeRO(cfg, stage, false)
+	return toggleZeRO(s, cfg, stage, false)
 }
 
 // toggleZeRO flips optimizer-state sharding for every eligible op
 // (dp > 1) in the stage. Returns nil when nothing would change.
-func toggleZeRO(cfg *config.Config, stage int, on bool) []*config.Config {
+func toggleZeRO(s *searcher, cfg *config.Config, stage int, on bool) []*config.Config {
 	st := &cfg.Stages[stage]
 	changed := false
 	for j := range st.Ops {
@@ -92,7 +102,7 @@ func toggleZeRO(cfg *config.Config, stage int, on bool) []*config.Config {
 	if !changed {
 		return nil
 	}
-	c := cfg.Clone()
+	c := s.clone(cfg)
 	c.MutStage(stage, func(st *config.Stage) {
 		for j := range st.Ops {
 			if st.Ops[j].DP > 1 {
@@ -100,5 +110,5 @@ func toggleZeRO(cfg *config.Config, stage int, on bool) []*config.Config {
 			}
 		}
 	})
-	return []*config.Config{c}
+	return s.keepOut(append(s.applyOut(), c))
 }

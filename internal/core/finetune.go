@@ -20,21 +20,33 @@ const fineTuneCandidateCap = 96
 //  2. Flexible tensor-parallel dimensions: flip individual operators
 //     to their alternative sharding dim (row↔col, in↔out channel).
 func (s *searcher) fineTune(cfg *config.Config) *config.Config {
+	curEst := s.estimate(cfg)
 	best := cfg
-	bestScore := s.score(s.estimate(cfg))
+	bestScore := s.score(curEst)
 	improved := false
 	budget := fineTuneCandidateCap
 
+	// Fine-tuning candidates differ from cfg in a single stage, so the
+	// batched estimator recycles every other stage's metrics.
+	s.pushBatch(cfg, curEst)
+	defer s.popBatch()
+
 	consider := func(c *config.Config) {
-		if c == nil || budget <= 0 {
+		if c == nil {
+			return
+		}
+		if budget <= 0 {
+			s.discard(c)
 			return
 		}
 		budget--
 		h := c.Hash()
 		if s.visited[h] {
+			s.discard(c)
 			return
 		}
 		if err := c.Validate(s.graph, s.cluster.TotalDevices()); err != nil {
+			s.discard(c)
 			return
 		}
 		s.visited[h] = true
@@ -44,8 +56,15 @@ func (s *searcher) fineTune(cfg *config.Config) *config.Config {
 			s.trace.observe(sc)
 		}
 		if sc < bestScore {
+			// The superseded best is dead unless it is the caller's
+			// input configuration.
+			if best != cfg {
+				s.discard(best)
+			}
 			best, bestScore = c, sc
 			improved = true
+		} else {
+			s.discard(c)
 		}
 	}
 
@@ -63,8 +82,8 @@ func (s *searcher) fineTune(cfg *config.Config) *config.Config {
 			}
 		}
 		for _, from := range starts {
-			consider(retileRange(best, si, from, true))
-			consider(retileRange(best, si, from, false))
+			consider(retileRange(s, best, si, from, true))
+			consider(retileRange(s, best, si, from, false))
 		}
 	}
 
@@ -75,8 +94,11 @@ func (s *searcher) fineTune(cfg *config.Config) *config.Config {
 		if s.expired() || budget <= 0 {
 			break
 		}
-		st := &best.Stages[bn.Stage]
-		for j := st.Start; j < st.End && budget > 0; j++ {
+		// Capture the op range by value: `best` may be superseded (and
+		// its predecessor recycled) while this loop runs, so no pointer
+		// into a candidate's stage array may outlive a consider call.
+		stStart, stEnd := best.Stages[bn.Stage].Start, best.Stages[bn.Stage].End
+		for j := stStart; j < stEnd && budget > 0; j++ {
 			op := &s.graph.Ops[j]
 			if len(op.Dims) < 2 || best.Stages[bn.Stage].Setting(j).TP < 2 {
 				continue // a dim flip on an unsharded op is a no-op
@@ -86,7 +108,7 @@ func (s *searcher) fineTune(cfg *config.Config) *config.Config {
 				if d == cur {
 					continue
 				}
-				c := best.Clone()
+				c := s.clone(best)
 				c.MutOp(bn.Stage, j, func(op *config.OpSetting) { op.Dim = d })
 				consider(c)
 			}
@@ -102,7 +124,7 @@ func (s *searcher) fineTune(cfg *config.Config) *config.Config {
 // retileRange converts ops [stage.Start+from, stage.End) between tp-
 // and dp-heavier tilings of the same device count. Returns nil when
 // illegal.
-func retileRange(cfg *config.Config, stage, from int, toDP bool) *config.Config {
+func retileRange(s *searcher, cfg *config.Config, stage, from int, toDP bool) *config.Config {
 	st := &cfg.Stages[stage]
 	any := false
 	for j := from; j < st.NumOps(); j++ {
@@ -119,7 +141,7 @@ func retileRange(cfg *config.Config, stage, from int, toDP bool) *config.Config 
 	if !any {
 		return nil
 	}
-	c := cfg.Clone()
+	c := s.clone(cfg)
 	c.MutStage(stage, func(nst *config.Stage) {
 		for j := from; j < nst.NumOps(); j++ {
 			op := &nst.Ops[j]

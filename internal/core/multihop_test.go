@@ -52,7 +52,7 @@ func TestPopBestUnexploredDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s.pool[c.Hash()] = &Candidate{Config: c, Score: score}
+		s.pool[c.Hash()] = Candidate{Config: c, Score: score}
 	}
 	mk(1, 3)
 	mk(2, 1)
@@ -95,7 +95,7 @@ func TestMultiHopFindsImprovement(t *testing.T) {
 	if bns[0].Stage != 0 {
 		t.Fatalf("expected stage 0 to be the bottleneck, got %d", bns[0].Stage)
 	}
-	found, hops, prim := s.multiHop(cfg, bns[0], 0, initScore)
+	found, hops, prim := s.multiHop(cfg, s.estimate(cfg), bns[0], 0, initScore)
 	if found == nil {
 		t.Fatal("multiHop found no improvement on a grossly imbalanced pipeline")
 	}
@@ -116,7 +116,7 @@ func TestMultiHopRespectsMaxHops(t *testing.T) {
 	s.opts.MaxHops = 0 // no hops allowed at all
 	cfg := mustBalanced(t, g, 4, 2, 4)
 	bns := Bottlenecks(s.estimate(cfg), s.cluster.MemoryBytes)
-	if found, _, _ := s.multiHop(cfg, bns[0], 0, 1e30); found != nil {
+	if found, _, _ := s.multiHop(cfg, s.estimate(cfg), bns[0], 0, 1e30); found != nil {
 		t.Error("multiHop produced a result with MaxHops=0")
 	}
 }
@@ -127,7 +127,7 @@ func TestMultiHopDeadlineCutoff(t *testing.T) {
 	s.deadline = time.Now().Add(-time.Second) // already expired
 	cfg := mustBalanced(t, g, 4, 2, 1)
 	bns := Bottlenecks(s.estimate(cfg), s.cluster.MemoryBytes)
-	if found, _, _ := s.multiHop(cfg, bns[0], 0, 1e30); found != nil {
+	if found, _, _ := s.multiHop(cfg, s.estimate(cfg), bns[0], 0, 1e30); found != nil {
 		t.Error("expired search still explored")
 	}
 }

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRunWorkStealing checks the scheduler's contract: every task runs
+// exactly once, worker indices stay in range, and tasks on the same
+// worker never overlap (per-worker state such as a config arena needs
+// no locking).
+func TestRunWorkStealing(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, n := range []int{0, 1, 2, 7, 32} {
+			tasks := make([]int, n)
+			for i := range tasks {
+				tasks[i] = i * 3 // distinct values, priority order
+			}
+			var mu sync.Mutex
+			seen := make(map[int]int, n)
+			active := make(map[int]bool) // worker → currently in run()
+			runWorkStealing(workers, tasks, func(w, task int) {
+				mu.Lock()
+				if w < 0 || w >= workers {
+					t.Errorf("workers=%d n=%d: worker index %d out of range", workers, n, w)
+				}
+				if active[w] {
+					t.Errorf("workers=%d n=%d: worker %d re-entered while running", workers, n, w)
+				}
+				active[w] = true
+				seen[task]++
+				mu.Unlock()
+
+				mu.Lock()
+				active[w] = false
+				mu.Unlock()
+			})
+			if len(seen) != n {
+				t.Errorf("workers=%d n=%d: %d distinct tasks ran, want %d", workers, n, len(seen), n)
+			}
+			for task, c := range seen {
+				if c != 1 {
+					t.Errorf("workers=%d n=%d: task %d ran %d times, want once", workers, n, task, c)
+				}
+			}
+		}
+	}
+}
+
+// TestRunWorkStealingSequentialOrder pins the single-worker fallback:
+// with one worker (or one task) the tasks run in the given priority
+// order on worker 0, which is what makes GOMAXPROCS=1 searches
+// deterministic.
+func TestRunWorkStealingSequentialOrder(t *testing.T) {
+	tasks := []int{9, 4, 7, 1}
+	var order []int
+	runWorkStealing(1, tasks, func(w, task int) {
+		if w != 0 {
+			t.Errorf("worker %d used in sequential fallback, want 0", w)
+		}
+		order = append(order, task)
+	})
+	for i, task := range tasks {
+		if order[i] != task {
+			t.Fatalf("sequential fallback ran %v, want %v", order, tasks)
+		}
+	}
+}
+
+// TestStealQueueEnds pins the deque policy: the owner pops the front
+// (its most expensive remaining task), a thief steals the back (the
+// victim's cheapest).
+func TestStealQueueEnds(t *testing.T) {
+	q := &stealQueue{tasks: []int{10, 20, 30}}
+	if v, ok := q.popFront(); !ok || v != 10 {
+		t.Fatalf("popFront = %d, %v; want 10, true", v, ok)
+	}
+	if v, ok := q.stealBack(); !ok || v != 30 {
+		t.Fatalf("stealBack = %d, %v; want 30, true", v, ok)
+	}
+	if v, ok := q.popFront(); !ok || v != 20 {
+		t.Fatalf("popFront = %d, %v; want 20, true", v, ok)
+	}
+	if _, ok := q.popFront(); ok {
+		t.Fatal("popFront on empty queue reported a task")
+	}
+	if _, ok := q.stealBack(); ok {
+		t.Fatal("stealBack on empty queue reported a task")
+	}
+}

@@ -105,16 +105,25 @@ var Table = []Primitive{
 		apply: applyDecRC},
 }
 
-// Eligible returns the primitives that decrease consumption of r —
-// the table query of §3.2.2.
-func Eligible(r Resource) []*Primitive {
-	var out []*Primitive
-	for i := range Table {
-		if Table[i].effect(r) == Down {
-			out = append(out, &Table[i])
+// eligibleByResource memoizes Eligible per resource: the table is
+// immutable after init and the multi-hop search queries it at every
+// node, so the query must not allocate.
+var eligibleByResource = func() (m [3][]*Primitive) {
+	for _, r := range []Resource{Comp, Comm, Mem} {
+		for i := range Table {
+			if Table[i].effect(r) == Down {
+				m[r] = append(m[r], &Table[i])
+			}
 		}
 	}
-	return out
+	return m
+}()
+
+// Eligible returns the primitives that decrease consumption of r —
+// the table query of §3.2.2. The returned slice is shared and must
+// not be mutated.
+func Eligible(r Resource) []*Primitive {
+	return eligibleByResource[r]
 }
 
 // PrimitiveByName returns the table row with the given name, or nil.
@@ -208,7 +217,7 @@ func doubleStageDevices(st *config.Stage, useDP bool, mbs int) bool {
 // stage; dir = +1 moves the last k ops to the next stage). Transferred
 // ops adopt settings compatible with the receiving stage. Returns nil
 // when the move is illegal.
-func moveOps(g *model.Graph, cfg *config.Config, from, dir, k int) *config.Config {
+func moveOps(s *searcher, cfg *config.Config, from, dir, k int) *config.Config {
 	to := from + dir
 	if to < 0 || to >= cfg.NumStages() || k <= 0 {
 		return nil
@@ -216,7 +225,7 @@ func moveOps(g *model.Graph, cfg *config.Config, from, dir, k int) *config.Confi
 	if cfg.Stages[from].NumOps() <= k {
 		return nil // donor must keep at least one op
 	}
-	out := cfg.Clone()
+	out := s.clone(cfg)
 	src := &out.Stages[from]
 	dst := &out.Stages[to]
 	// Transferred ops adopt the receiving stage's tp/dp (nearest
@@ -257,9 +266,12 @@ func moveOps(g *model.Graph, cfg *config.Config, from, dir, k int) *config.Confi
 }
 
 // opKs returns the candidate "how many ops to move" arguments for a
-// stage with n ops: 1, 2, 4, ... capped at half the stage.
-func opKs(n int) []int {
-	var ks []int
+// stage with n ops: 1, 2, 4, ... capped at half the stage. The result
+// is appended into buf[:0] so callers on the search hot path can
+// recycle a scratch slice; each call's result must be fully consumed
+// before the next call reuses the buffer.
+func opKs(buf []int, n int) []int {
+	ks := buf[:0]
 	for k := 1; k <= n/2 || k == 1 && n > 1; k *= 2 {
 		ks = append(ks, k)
 		if k >= n/2 {
@@ -281,51 +293,62 @@ func applyDecOps(s *searcher, cfg *config.Config, stage int) []*config.Config {
 	if idle < stage {
 		dir = -1
 	}
-	var out []*config.Config
-	for _, k := range opKs(cfg.Stages[stage].NumOps()) {
+	out := s.applyOut()
+	ks := opKs(s.opksBuf, cfg.Stages[stage].NumOps())
+	s.opksBuf = ks
+	for _, k := range ks {
 		// Direct move toward the idlest stage.
-		if c := moveOps(s.graph, cfg, stage, dir, k); c != nil {
+		if c := moveOps(s, cfg, stage, dir, k); c != nil {
 			out = append(out, c)
 		}
 		// Relay combination (§4.3): shift every boundary between the
-		// bottleneck and the idlest stage by k.
+		// bottleneck and the idlest stage by k. Intermediate hops are
+		// dead the moment the next hop is cloned from them.
 		if idle != stage+dir {
 			c := cfg
 			ok := true
 			for cur := stage; cur != idle; cur += dir {
-				c = moveOps(s.graph, c, cur, dir, k)
-				if c == nil {
+				next := moveOps(s, c, cur, dir, k)
+				if c != cfg {
+					s.discard(c)
+				}
+				if next == nil {
 					ok = false
 					break
 				}
+				c = next
 			}
 			if ok {
 				out = append(out, c)
 			}
 		}
 		// Opposite direction as a fallback candidate.
-		if c := moveOps(s.graph, cfg, stage, -dir, k); c != nil && k == 1 {
-			out = append(out, c)
+		if k == 1 {
+			if c := moveOps(s, cfg, stage, -dir, k); c != nil {
+				out = append(out, c)
+			}
 		}
 	}
-	return out
+	return s.keepOut(out)
 }
 
 func applyIncOps(s *searcher, cfg *config.Config, stage int) []*config.Config {
 	// Pull ops into this stage from whichever neighbor is busier.
-	var out []*config.Config
+	out := s.applyOut()
 	for _, dir := range []int{-1, +1} {
 		nb := stage + dir
 		if nb < 0 || nb >= cfg.NumStages() {
 			continue
 		}
-		for _, k := range opKs(cfg.Stages[nb].NumOps()) {
-			if c := moveOps(s.graph, cfg, nb, -dir, k); c != nil {
+		ks := opKs(s.opksBuf, cfg.Stages[nb].NumOps())
+		s.opksBuf = ks
+		for _, k := range ks {
+			if c := moveOps(s, cfg, nb, -dir, k); c != nil {
 				out = append(out, c)
 			}
 		}
 	}
-	return out
+	return s.keepOut(out)
 }
 
 func applyIncMBS(s *searcher, cfg *config.Config, _ int) []*config.Config {
@@ -333,9 +356,9 @@ func applyIncMBS(s *searcher, cfg *config.Config, _ int) []*config.Config {
 	if s.graph.GlobalBatch%mbs != 0 {
 		return nil
 	}
-	c := cfg.Clone()
+	c := s.clone(cfg)
 	c.SetMicroBatch(mbs)
-	return []*config.Config{c}
+	return s.keepOut(append(s.applyOut(), c))
 }
 
 func applyDecMBS(s *searcher, cfg *config.Config, _ int) []*config.Config {
@@ -351,9 +374,9 @@ func applyDecMBS(s *searcher, cfg *config.Config, _ int) []*config.Config {
 			}
 		}
 	}
-	c := cfg.Clone()
+	c := s.clone(cfg)
 	c.SetMicroBatch(mbs)
-	return []*config.Config{c}
+	return s.keepOut(append(s.applyOut(), c))
 }
 
 // applyGrow doubles the bottleneck stage's devices via dp or tp
@@ -367,22 +390,24 @@ func applyGrow(s *searcher, cfg *config.Config, stage int, useDP bool) []*config
 	}
 	est := s.estimate(cfg)
 	need := cfg.Stages[stage].Devices * 2
-	var out []*config.Config
+	out := s.applyOut()
 	for _, partner := range partnersBySlack(est, cfg, stage, need) {
 		for _, partnerDP := range []bool{true, false} { // dec-dp or dec-tp partner primitive
-			c := cfg.Clone()
+			c := s.clone(cfg)
 			grew := false
 			c.MutStage(stage, func(st *config.Stage) {
 				grew = doubleStageDevices(st, useDP, c.MicroBatch)
 			})
 			if !grew {
-				return out
+				s.discard(c)
+				return s.keepOut(out)
 			}
 			halved := false
 			c.MutStage(partner, func(st *config.Stage) {
 				halved = halveStageDevices(st, partnerDP)
 			})
 			if !halved {
+				s.discard(c)
 				continue
 			}
 			out = append(out, c)
@@ -391,7 +416,7 @@ func applyGrow(s *searcher, cfg *config.Config, stage int, useDP bool) []*config
 			break // one partner is enough; multi-hop explores the rest
 		}
 	}
-	return out
+	return s.keepOut(out)
 }
 
 // applyShrink halves the bottleneck stage's devices via dp or tp; the
@@ -408,22 +433,24 @@ func applyShrink(s *searcher, cfg *config.Config, stage int, useDP bool) []*conf
 	for i, j := 0, len(partners)-1; i < j; i, j = i+1, j-1 {
 		partners[i], partners[j] = partners[j], partners[i]
 	}
-	var out []*config.Config
+	out := s.applyOut()
 	for _, partner := range partners {
 		for _, partnerDP := range []bool{true, false} { // inc-dp or inc-tp partner primitive
-			c := cfg.Clone()
+			c := s.clone(cfg)
 			halved := false
 			c.MutStage(stage, func(st *config.Stage) {
 				halved = halveStageDevices(st, useDP)
 			})
 			if !halved {
-				return out
+				s.discard(c)
+				return s.keepOut(out)
 			}
 			doubled := false
 			c.MutStage(partner, func(st *config.Stage) {
 				doubled = doubleStageDevices(st, partnerDP, c.MicroBatch)
 			})
 			if !doubled {
+				s.discard(c)
 				continue
 			}
 			out = append(out, c)
@@ -432,7 +459,7 @@ func applyShrink(s *searcher, cfg *config.Config, stage int, useDP bool) []*conf
 			break
 		}
 	}
-	return out
+	return s.keepOut(out)
 }
 
 // partnersBySlack returns the stages (≠ stage) with exactly `devices`
@@ -454,39 +481,49 @@ func applyIncDP(s *searcher, cfg *config.Config, stage int) []*config.Config {
 	// Besides borrowing devices, dp can grow in place by trading tp
 	// for dp within the stage (same device count).
 	out := applyGrow(s, cfg, stage, true)
-	if c := retile(cfg, stage, true); c != nil {
-		out = append(out, c)
+	if c := retile(s, cfg, stage, true); c != nil {
+		out = appendCand(s, out, c)
 	}
 	return out
 }
 
 func applyDecDP(s *searcher, cfg *config.Config, stage int) []*config.Config {
 	out := applyShrink(s, cfg, stage, true)
-	if c := retile(cfg, stage, false); c != nil {
-		out = append(out, c)
+	if c := retile(s, cfg, stage, false); c != nil {
+		out = appendCand(s, out, c)
 	}
 	return out
 }
 
 func applyIncTP(s *searcher, cfg *config.Config, stage int) []*config.Config {
 	out := applyGrow(s, cfg, stage, false)
-	if c := retile(cfg, stage, false); c != nil {
-		out = append(out, c)
+	if c := retile(s, cfg, stage, false); c != nil {
+		out = appendCand(s, out, c)
 	}
 	return out
 }
 
 func applyDecTP(s *searcher, cfg *config.Config, stage int) []*config.Config {
 	out := applyShrink(s, cfg, stage, false)
-	if c := retile(cfg, stage, true); c != nil {
-		out = append(out, c)
+	if c := retile(s, cfg, stage, true); c != nil {
+		out = appendCand(s, out, c)
 	}
 	return out
 }
 
+// appendCand appends c to an apply result that may be nil (the helper
+// bailed out before claiming the shared buffer) and re-registers the
+// buffer so growth is retained.
+func appendCand(s *searcher, out []*config.Config, c *config.Config) []*config.Config {
+	if out == nil {
+		out = s.applyOut()
+	}
+	return s.keepOut(append(out, c))
+}
+
 // retile converts tp↔dp within a stage without changing its device
 // count: toDP doubles dp and halves tp (or the reverse).
-func retile(cfg *config.Config, stage int, toDP bool) *config.Config {
+func retile(s *searcher, cfg *config.Config, stage int, toDP bool) *config.Config {
 	st := &cfg.Stages[stage]
 	for j := range st.Ops {
 		op := &st.Ops[j]
@@ -498,7 +535,7 @@ func retile(cfg *config.Config, stage int, toDP bool) *config.Config {
 			return nil
 		}
 	}
-	c := cfg.Clone()
+	c := s.clone(cfg)
 	c.MutStage(stage, func(nst *config.Stage) {
 		for j := range nst.Ops {
 			op := &nst.Ops[j]
@@ -530,26 +567,32 @@ func savedActBytes(g *model.Graph, cfg *config.Config, stage, op int) float64 {
 	return (o.ActElems + o.WorkElems) / float64(set.TP) * samples * g.Precision.BytesPerElem()
 }
 
+// rcCand ranks an op by the activation bytes its recompute choice
+// stashes; both rc primitives build their ranking in the searcher's
+// shared rcBuf scratch (safe: apply functions never nest, see
+// searcher.rcBuf).
+type rcCand struct {
+	op    int
+	bytes float64
+}
+
 func applyIncRC(s *searcher, cfg *config.Config, stage int) []*config.Config {
 	st := &cfg.Stages[stage]
 	// Rank non-recomputed ops by descending saved activation.
-	type cand struct {
-		op    int
-		bytes float64
-	}
-	var cands []cand
+	cands := s.rcBuf[:0]
 	for j := st.Start; j < st.End; j++ {
 		if !st.Setting(j).Recompute {
-			cands = append(cands, cand{j, savedActBytes(s.graph, cfg, stage, j)})
+			cands = append(cands, rcCand{j, savedActBytes(s.graph, cfg, stage, j)})
 		}
 	}
+	s.rcBuf = cands
 	if len(cands) == 0 {
 		return nil
 	}
-	sortCands(cands, func(a, b cand) bool { return a.bytes > b.bytes })
+	sortCands(cands, func(a, b rcCand) bool { return a.bytes > b.bytes })
 
 	mark := func(k int) *config.Config {
-		c := cfg.Clone()
+		c := s.clone(cfg)
 		c.MutStage(stage, func(st *config.Stage) {
 			for i := 0; i < k && i < len(cands); i++ {
 				st.Setting(cands[i].op).Recompute = true
@@ -557,7 +600,7 @@ func applyIncRC(s *searcher, cfg *config.Config, stage int) []*config.Config {
 		})
 		return c
 	}
-	var out []*config.Config
+	out := s.applyOut()
 	// Minimal k that brings the stage under the memory limit (greedy
 	// goal of §4.1), plus a quarter step and "recompute everything".
 	for k := 1; k <= len(cands); k *= 2 {
@@ -570,28 +613,25 @@ func applyIncRC(s *searcher, cfg *config.Config, stage int) []*config.Config {
 	if k := len(cands); k > 1 {
 		out = append(out, mark(k))
 	}
-	return out
+	return s.keepOut(out)
 }
 
 func applyDecRC(s *searcher, cfg *config.Config, stage int) []*config.Config {
 	st := &cfg.Stages[stage]
-	type cand struct {
-		op    int
-		bytes float64
-	}
-	var cands []cand
+	cands := s.rcBuf[:0]
 	for j := st.Start; j < st.End; j++ {
 		if st.Setting(j).Recompute {
-			cands = append(cands, cand{j, savedActBytes(s.graph, cfg, stage, j)})
+			cands = append(cands, rcCand{j, savedActBytes(s.graph, cfg, stage, j)})
 		}
 	}
+	s.rcBuf = cands
 	if len(cands) == 0 {
 		return nil
 	}
 	// Un-recompute the cheapest stashes first.
-	sortCands(cands, func(a, b cand) bool { return a.bytes < b.bytes })
+	sortCands(cands, func(a, b rcCand) bool { return a.bytes < b.bytes })
 	clear := func(k int) *config.Config {
-		c := cfg.Clone()
+		c := s.clone(cfg)
 		c.MutStage(stage, func(st *config.Stage) {
 			for i := 0; i < k && i < len(cands); i++ {
 				st.Setting(cands[i].op).Recompute = false
@@ -599,12 +639,12 @@ func applyDecRC(s *searcher, cfg *config.Config, stage int) []*config.Config {
 		})
 		return c
 	}
-	var out []*config.Config
+	out := s.applyOut()
 	for k := 1; k < len(cands); k *= 2 {
 		out = append(out, clear(k))
 	}
 	out = append(out, clear(len(cands)))
-	return out
+	return s.keepOut(out)
 }
 
 // sortCands is a tiny insertion sort to keep the apply functions free

@@ -23,7 +23,7 @@ func newSearcher(t *testing.T, g *model.Graph, devices int) *searcher {
 		opts:     Options{}.withDefaults(),
 		deadline: time.Now().Add(time.Minute),
 		visited:  make(map[uint64]bool),
-		pool:     make(map[uint64]*Candidate),
+		pool:     make(map[uint64]Candidate),
 		cache:    make(map[uint64]*perfmodel.Estimate),
 		trace:    nil,
 	}
@@ -151,7 +151,7 @@ func TestMoveOps(t *testing.T) {
 	cfg := mustBalanced(t, g, 4, 2, 2)
 
 	// Move 3 ops from stage 1 back to stage 0.
-	c := moveOps(s.graph, cfg, 1, -1, 3)
+	c := moveOps(s, cfg, 1, -1, 3)
 	if c == nil {
 		t.Fatal("moveOps returned nil")
 	}
@@ -162,7 +162,7 @@ func TestMoveOps(t *testing.T) {
 		t.Errorf("stage 0 has %d ops, want %d", got, cfg.Stages[0].NumOps()+3)
 	}
 	// Move forward.
-	c2 := moveOps(s.graph, cfg, 0, +1, 2)
+	c2 := moveOps(s, cfg, 0, +1, 2)
 	if c2 == nil {
 		t.Fatal("forward moveOps returned nil")
 	}
@@ -170,14 +170,14 @@ func TestMoveOps(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Donor must keep one op.
-	if c := moveOps(s.graph, cfg, 0, +1, cfg.Stages[0].NumOps()); c != nil {
+	if c := moveOps(s, cfg, 0, +1, cfg.Stages[0].NumOps()); c != nil {
 		t.Error("moveOps emptied the donor stage")
 	}
 	// Out-of-range target.
-	if c := moveOps(s.graph, cfg, 0, -1, 1); c != nil {
+	if c := moveOps(s, cfg, 0, -1, 1); c != nil {
 		t.Error("moveOps past stage 0 should fail")
 	}
-	if c := moveOps(s.graph, cfg, 1, +1, 1); c != nil {
+	if c := moveOps(s, cfg, 1, +1, 1); c != nil {
 		t.Error("moveOps past the last stage should fail")
 	}
 }
@@ -192,7 +192,7 @@ func TestMoveOpsPreservesDims(t *testing.T) {
 	for k := 1; k < 16; k++ {
 		for _, dir := range []int{-1, +1} {
 			for _, from := range []int{0, 1} {
-				c := moveOps(s.graph, cfg, from, dir, k)
+				c := moveOps(s, cfg, from, dir, k)
 				if c == nil {
 					continue
 				}
@@ -281,9 +281,10 @@ func TestGrowShrinkMoveDevices(t *testing.T) {
 
 func TestRetile(t *testing.T) {
 	g := model.Uniform(8, 1e10, 1e6, 1e5, 64)
+	s := newSearcher(t, g, 8)
 	cfg := mustBalanced(t, g, 8, 1, 8) // tp=8, dp=1
 
-	c := retile(cfg, 0, true) // toward dp
+	c := retile(s, cfg, 0, true) // toward dp
 	if c == nil {
 		t.Fatal("retile toDP failed")
 	}
@@ -295,7 +296,7 @@ func TestRetile(t *testing.T) {
 		t.Error("retile changed device count")
 	}
 	// Reverse restores the original (inc∘dec identity, invariant 3).
-	back := retile(c, 0, false)
+	back := retile(s, c, 0, false)
 	if back == nil {
 		t.Fatal("reverse retile failed")
 	}
@@ -307,7 +308,7 @@ func TestRetile(t *testing.T) {
 	for j := range flat.Stages[0].Ops {
 		flat.Stages[0].Ops[j] = config.OpSetting{TP: 1, DP: 8, Dim: 0}
 	}
-	if got := retile(flat, 0, true); got != nil {
+	if got := retile(s, flat, 0, true); got != nil {
 		t.Error("retile toDP with tp=1 should fail")
 	}
 }
@@ -385,7 +386,7 @@ func TestOpKs(t *testing.T) {
 		{100, []int{1, 2, 4, 8, 16, 32}},
 	}
 	for _, tc := range cases {
-		got := opKs(tc.n)
+		got := opKs(nil, tc.n)
 		if len(got) != len(tc.want) {
 			t.Errorf("opKs(%d) = %v, want %v", tc.n, got, tc.want)
 			continue

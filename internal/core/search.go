@@ -5,9 +5,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"runtime/debug"
 	"sort"
-	"sync"
 	"time"
 
 	"aceso/internal/config"
@@ -255,48 +255,70 @@ func SearchContext(ctx context.Context, g *model.Graph, cl hardware.Cluster, opt
 	outs := make([]workerOut, len(stageCounts))
 	memNorm := cl.MinDeviceMemory()
 	met := newSearchMeters(opts.Metrics)
-	var wg sync.WaitGroup
-	for wi, p := range stageCounts {
-		wg.Add(1)
-		go func(wi, p int) {
-			defer wg.Done()
-			// Panic isolation: one buggy searcher (a bad primitive, a
-			// poisoned estimate) must not take down its siblings.
-			defer func() {
-				if r := recover(); r != nil {
-					outs[wi] = workerOut{err: &SearchError{
-						StageCount: p,
-						PanicValue: r,
-						Stack:      string(debug.Stack()),
-					}}
-				}
-			}()
-			init, err := opts.Initializer(g, cl.TotalDevices(), p, opts.InitMicroBatch)
-			if err != nil {
-				outs[wi] = workerOut{err: &SearchError{StageCount: p, Err: err}}
-				return
-			}
-			s := &searcher{
-				graph:    g,
-				cluster:  cl,
-				memNorm:  memNorm,
-				pm:       pm,
-				opts:     opts,
-				deadline: deadline,
-				done:     ctx.Done(),
-				visited:  make(map[uint64]bool),
-				pool:     make(map[uint64]*Candidate),
-				cache:    make(map[uint64]*perfmodel.Estimate),
-				rng:      rand.New(rand.NewSource(opts.Seed + int64(p)*7919)),
-				trace:    trace,
-				tracer:   opts.Tracer,
-				met:      met,
-			}
-			topK, iters, converged := s.run(init)
-			outs[wi] = workerOut{topK: topK, explored: s.explored, iterations: iters, converged: converged}
-		}(wi, p)
+	// Each task is one independent, deterministic per-stage-count
+	// search; the work-stealing pool schedules the deepest pipelines
+	// first so a straggling deep search starts early instead of
+	// serializing behind its cheap siblings. Scheduling order cannot
+	// change any task's result (tasks share only thread-safe caches
+	// whose values are pure functions of their keys), so the merged
+	// outcome is identical under any schedule.
+	order := make([]int, len(stageCounts))
+	for i := range order {
+		order[i] = i
 	}
-	wg.Wait()
+	sort.SliceStable(order, func(a, b int) bool {
+		return stageCounts[order[a]] > stageCounts[order[b]]
+	})
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(order) {
+		workers = len(order)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// One arena per worker, not per searcher: a worker runs its tasks
+	// serially, so consecutive stage-count searches on the same worker
+	// recycle each other's candidate memory instead of re-allocating
+	// their whole working set from a cold free list.
+	arenas := make([]config.Arena, workers)
+	runWorkStealing(workers, order, func(w, wi int) {
+		p := stageCounts[wi]
+		// Panic isolation: one buggy searcher (a bad primitive, a
+		// poisoned estimate) must not take down its siblings.
+		defer func() {
+			if r := recover(); r != nil {
+				outs[wi] = workerOut{err: &SearchError{
+					StageCount: p,
+					PanicValue: r,
+					Stack:      string(debug.Stack()),
+				}}
+			}
+		}()
+		init, err := opts.Initializer(g, cl.TotalDevices(), p, opts.InitMicroBatch)
+		if err != nil {
+			outs[wi] = workerOut{err: &SearchError{StageCount: p, Err: err}}
+			return
+		}
+		s := &searcher{
+			graph:    g,
+			cluster:  cl,
+			memNorm:  memNorm,
+			pm:       pm,
+			opts:     opts,
+			deadline: deadline,
+			done:     ctx.Done(),
+			visited:  make(map[uint64]bool, 1024),
+			pool:     make(map[uint64]Candidate, 1024),
+			cache:    make(map[uint64]*perfmodel.Estimate, 1024),
+			arena:    &arenas[w],
+			rng:      rand.New(rand.NewSource(opts.Seed + int64(p)*7919)),
+			trace:    trace,
+			tracer:   opts.Tracer,
+			met:      met,
+		}
+		topK, iters, converged := s.run(init)
+		outs[wi] = workerOut{topK: topK, explored: s.explored, iterations: iters, converged: converged}
+	})
 
 	if opts.Metrics != nil {
 		// Mirror the performance model's own stage-cache counters into
@@ -414,11 +436,57 @@ type searcher struct {
 	done     <-chan struct{} // context cancellation, shared with the deadline
 
 	visited  map[uint64]bool                // every config ever estimated (dedup, §4.3)
-	pool     map[uint64]*Candidate          // unexplored configs (Algorithm 1)
+	pool     map[uint64]Candidate           // unexplored configs (Algorithm 1)
 	cache    map[uint64]*perfmodel.Estimate // estimate memo
 	explored int
 	rng      *rand.Rand
 	trace    *Trace
+
+	// arena recycles rejected candidate clones (DESIGN.md §5g). Shared
+	// by every searcher run serially on one worker. The discipline: a
+	// config goes back via discard() only when nothing retains its
+	// pointer — never the current/found config, never a pool or top-K
+	// entry. Pool-pruned configs park in limbo until the top-level
+	// iteration boundary, because candidate slices of active multiHop
+	// frames may still alias them; the whole pool is recycled when
+	// run() finishes (pool and top-K never share configs: multiHop
+	// returns an improving candidate before pooling it).
+	arena *config.Arena
+	limbo []*config.Config
+
+	// batches is the stack of batched estimators, one per active
+	// multiHop/fineTune base; batch is its top (nil = full path). The
+	// slots — and their key slices — are reused across pushes at the
+	// same depth, so a push is allocation-free in steady state.
+	batches []perfmodel.Batch
+	batch   *perfmodel.Batch
+
+	// estArena bump-allocates the estimates memoized in cache: they
+	// live exactly as long as this searcher, so they are carved from
+	// chunks instead of allocated one by one (see perfmodel.EstArena).
+	estArena perfmodel.EstArena
+
+	// Reusable scratch, hoisted out of the hot path: candsAt[hop] backs
+	// multiHop's per-resource candidate list at recursion depth hop,
+	// bnBufAt[hop] the Bottleneck resource list built for depth hop+1,
+	// pruneBuf prunePool's sort buffer, rcBuf the saved-activation
+	// ranking of applyIncRC/applyDecRC (never live across nested apply
+	// calls: estimates do not re-enter the apply functions).
+	candsAt  [][]Candidate
+	bnBufAt  [][]Resource
+	pruneBuf poolEntries
+	rcBuf    []rcCand
+	opksBuf  []int
+
+	// applyBufs backs the candidate slices returned by the primitive
+	// apply functions; each result is fully consumed before the next
+	// apply call at the same level, so the buffer is recycled instead
+	// of allocated per call. Two levels exist because attachRecompute
+	// runs applyIncRC while multiHop is still iterating another apply
+	// result: attachRecompute bumps applyDepth so the nested call uses
+	// the second buffer, and it never nests inside itself.
+	applyBufs  [2][]*config.Config
+	applyDepth int
 
 	// Observability (nil when disabled — every use is pointer-guarded
 	// so the tracing-off hot path pays only the nil checks).
@@ -430,6 +498,25 @@ type searcher struct {
 	itEstimated  int
 	itDedup      int
 	itBacktracks int
+}
+
+// applyOut returns the recycled, emptied candidate buffer for the
+// current apply nesting level. Apply functions build their result in
+// it and hand it back through keepOut.
+func (s *searcher) applyOut() []*config.Config {
+	return s.applyBufs[s.applyDepth][:0]
+}
+
+// keepOut retains the (possibly regrown) buffer for reuse by the next
+// apply call at this level and returns it to the caller. An empty
+// result comes back as nil so callers keep the historical "nil means
+// no candidates" contract.
+func (s *searcher) keepOut(out []*config.Config) []*config.Config {
+	s.applyBufs[s.applyDepth] = out
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // expired reports whether the search must stop: the context was
@@ -447,14 +534,57 @@ func (s *searcher) expired() bool {
 	return time.Now().After(s.deadline)
 }
 
+// clone copies cfg through the searcher's arena, reusing the slices of
+// previously discarded candidates.
+func (s *searcher) clone(cfg *config.Config) *config.Config {
+	return cfg.CloneIn(s.arena)
+}
+
+// discard recycles a candidate clone that nothing references anymore.
+func (s *searcher) discard(c *config.Config) {
+	s.arena.Put(c)
+}
+
+// pushBatch makes (cfg, est) the base for batched estimation until the
+// matching popBatch. Stack slots are reused, so steady-state pushes
+// allocate nothing.
+func (s *searcher) pushBatch(cfg *config.Config, est *perfmodel.Estimate) {
+	if n := len(s.batches); n < cap(s.batches) {
+		s.batches = s.batches[:n+1]
+	} else {
+		s.batches = append(s.batches, perfmodel.Batch{})
+	}
+	b := &s.batches[len(s.batches)-1]
+	s.pm.BeginBatch(b, cfg, est, &s.estArena)
+	s.batch = b
+}
+
+// popBatch restores the enclosing base (nil at the outermost level).
+func (s *searcher) popBatch() {
+	s.batches = s.batches[:len(s.batches)-1]
+	if n := len(s.batches); n > 0 {
+		s.batch = &s.batches[n-1]
+	} else {
+		s.batch = nil
+	}
+}
+
 // estimate memoizes performance-model evaluations by semantic hash and
-// counts unique explored configurations.
+// counts unique explored configurations. Inside a multiHop/fineTune
+// node the active batch estimator serves the call, sharing the base
+// configuration's per-stage metrics; the resulting estimate is
+// bitwise identical to the full path (see perfmodel.Batch).
 func (s *searcher) estimate(cfg *config.Config) *perfmodel.Estimate {
 	h := cfg.Hash()
 	if e, ok := s.cache[h]; ok {
 		return e
 	}
-	e := s.pm.Estimate(cfg)
+	var e *perfmodel.Estimate
+	if s.batch != nil {
+		e = s.batch.Estimate(cfg)
+	} else {
+		e = s.pm.EstimateIn(cfg, &s.estArena)
+	}
 	s.cache[h] = e
 	s.explored++
 	s.itEstimated++
@@ -523,6 +653,10 @@ func (s *searcher) run(init *config.Config) ([]Candidate, int, bool) {
 		}
 		iters++
 		s.itEstimated, s.itDedup, s.itBacktracks = 0, 0, 0
+		// Iteration boundary: every multiHop frame of the previous
+		// iteration is gone, so configs evicted from the pool during it
+		// can no longer be aliased by candidate slices — recycle them.
+		s.flushLimbo()
 		var t0 time.Time
 		if s.met != nil {
 			t0 = time.Now()
@@ -539,7 +673,12 @@ func (s *searcher) run(init *config.Config) ([]Candidate, int, bool) {
 		for _, bn := range bns {
 			tries++
 			lastBN = bn.Stage
-			found, hops, prim = s.multiHop(cur, bn, 0, initScore)
+			found, hops, prim = s.multiHop(cur, curEst, bn, 0, initScore)
+			// Top-level multiHop frames are gone and an improving
+			// candidate is returned before it is ever pooled, so
+			// nothing in limbo can be aliased here — recycle eagerly
+			// instead of waiting for the iteration boundary.
+			s.flushLimbo()
 			if found != nil || s.expired() {
 				break
 			}
@@ -549,6 +688,9 @@ func (s *searcher) run(init *config.Config) ([]Candidate, int, bool) {
 		if improved {
 			if !s.opts.DisableFineTune {
 				if ft := s.fineTune(found); ft != nil {
+					// The pre-fine-tune config is dead: multiHop returned
+					// it before pooling it, and it is not yet in topK.
+					s.discard(found)
 					found = ft
 				}
 			}
@@ -587,7 +729,27 @@ func (s *searcher) run(init *config.Config) ([]Candidate, int, bool) {
 		}
 		cur = next
 	}
+	// The searcher is done: everything still in the pool or limbo is
+	// garbage (pool and top-K are disjoint — see the arena field doc),
+	// so recycle it for the next stage-count search on this worker.
+	for _, cand := range s.pool {
+		s.discard(cand.Config)
+	}
+	s.flushLimbo()
 	return topK, iters, converged
+}
+
+// flushLimbo recycles every pool-evicted config parked in limbo. Only
+// call at points where no multiHop frame is active and the current/
+// found configs are known not to be limbo residents (popBestUnexplored
+// deletes from the pool, so the current config can never be pruned
+// into limbo).
+func (s *searcher) flushLimbo() {
+	for i, c := range s.limbo {
+		s.arena.Put(c)
+		s.limbo[i] = nil
+	}
+	s.limbo = s.limbo[:0]
 }
 
 // observeIteration flushes one top-level iteration into the Tracer and
@@ -634,16 +796,25 @@ func (s *searcher) observeIteration(stageCount, iter int, improved bool, bnStage
 // in Heuristic-2 order; return the first configuration scoring better
 // than initScore, recursing up to MaxHops, along with the name of the
 // primitive that produced it (the final hop's primitive).
-func (s *searcher) multiHop(cfg *config.Config, bn Bottleneck, hop int, initScore float64) (*config.Config, int, string) {
+//
+// est must be cfg's estimate; it anchors the node's batched estimator,
+// which every candidate of this node (including attachRecompute's
+// inner trials) is evaluated against.
+func (s *searcher) multiHop(cfg *config.Config, est *perfmodel.Estimate, bn Bottleneck, hop int, initScore float64) (*config.Config, int, string) {
 	if hop >= s.opts.MaxHops || s.expired() {
 		return nil, 0, ""
 	}
+	s.pushBatch(cfg, est)
+	defer s.popBatch()
 	resources := bn.Resources
 	if s.opts.DisableHeuristic2 {
 		resources = append([]Resource(nil), resources...)
 		s.rng.Shuffle(len(resources), func(i, j int) {
 			resources[i], resources[j] = resources[j], resources[i]
 		})
+	}
+	for len(s.candsAt) <= hop {
+		s.candsAt = append(s.candsAt, nil)
 	}
 	for _, res := range resources {
 		prims := Eligible(res)
@@ -656,13 +827,16 @@ func (s *searcher) multiHop(cfg *config.Config, bn Bottleneck, hop int, initScor
 				prims[i], prims[j] = prims[j], prims[i]
 			})
 		}
-		var cands []Candidate
+		// Per-depth scratch: frames at other depths use their own slot,
+		// and the recursion below finishes before this slot is reused.
+		cands := s.candsAt[hop][:0]
 		for _, prim := range prims {
 			var pc *obs.Counter
 			if s.met != nil {
 				pc = s.met.prim(prim.Name)
 			}
-			for _, c := range prim.apply(s, cfg, bn.Stage) {
+			batch := prim.apply(s, cfg, bn.Stage)
+			for ci, c := range batch {
 				// A deadline or cancellation that fires mid-hop must
 				// abort promptly, not after this primitive's whole
 				// candidate batch has been estimated.
@@ -673,6 +847,7 @@ func (s *searcher) multiHop(cfg *config.Config, bn Bottleneck, hop int, initScor
 					continue
 				}
 				if err := c.Validate(s.graph, s.cluster.TotalDevices()); err != nil {
+					s.discard(c)
 					continue
 				}
 				c = s.attachRecompute(c)
@@ -682,6 +857,7 @@ func (s *searcher) multiHop(cfg *config.Config, bn Bottleneck, hop int, initScor
 					if s.met != nil {
 						s.met.dedup.Inc()
 					}
+					s.discard(c)
 					continue
 				}
 				s.visited[h] = true
@@ -694,39 +870,53 @@ func (s *searcher) multiHop(cfg *config.Config, bn Bottleneck, hop int, initScor
 					s.trace.observe(sc)
 				}
 				if sc < initScore {
+					// The rest of the batch was never pooled or
+					// estimated — recycle it on the way out.
+					for _, rest := range batch[ci+1:] {
+						if rest != nil {
+							s.discard(rest)
+						}
+					}
 					return c, hop + 1, prim.Name
 				}
 				cand := Candidate{Config: c, Estimate: e, Score: sc, hash: h}
-				s.pool[h] = &cand
+				s.pool[h] = cand
 				if len(s.pool) > poolCap {
 					s.prunePool()
 				}
 				cands = append(cands, cand)
 			}
 			if s.expired() {
+				s.candsAt[hop] = cands
 				return nil, 0, ""
 			}
 		}
+		s.candsAt[hop] = cands // retain grown capacity across nodes
 		// Heuristic-2: best estimated performance first.
 		if s.opts.DisableHeuristic2 {
 			s.rng.Shuffle(len(cands), func(i, j int) {
 				cands[i], cands[j] = cands[j], cands[i]
 			})
 		} else {
-			sort.SliceStable(cands, func(a, b int) bool {
-				return cands[a].less(&cands[b])
-			})
+			// Insertion sort: stable like sort.SliceStable (equal-key
+			// order preserved) without the reflection-based swapper's
+			// per-call allocations; candidate lists are small.
+			for i := 1; i < len(cands); i++ {
+				for j := i; j > 0 && cands[j].less(&cands[j-1]); j-- {
+					cands[j], cands[j-1] = cands[j-1], cands[j]
+				}
+			}
 		}
 		limit := s.opts.BranchFactor
 		if limit > len(cands) {
 			limit = len(cands)
 		}
 		for i := 0; i < limit; i++ {
-			nb := Bottlenecks(cands[i].Estimate, s.cluster.MemoryBytes)
-			if len(nb) == 0 {
+			nb, ok := s.topBottleneck(hop, cands[i].Estimate)
+			if !ok {
 				continue
 			}
-			if r, h, pn := s.multiHop(cands[i].Config, nb[0], hop+1, initScore); r != nil {
+			if r, h, pn := s.multiHop(cands[i].Config, cands[i].Estimate, nb, hop+1, initScore); r != nil {
 				return r, h, pn
 			}
 			if s.expired() {
@@ -740,6 +930,63 @@ func (s *searcher) multiHop(cfg *config.Config, bn Bottleneck, hop int, initScor
 	return nil, 0, ""
 }
 
+// topBottleneck returns Bottlenecks(est, mem)[0] without building and
+// sorting the full per-stage ranking: the multi-hop branch step only
+// ever consumes the top entry. The top stage is the first index
+// attaining the extreme key (matching the stable sort's tie-break),
+// and the resource list is built into the per-depth scratch buffer —
+// owned by this frame until the recursion consuming it returns.
+func (s *searcher) topBottleneck(hop int, est *perfmodel.Estimate) (Bottleneck, bool) {
+	n := len(est.Stages)
+	if n == 0 {
+		return Bottleneck{}, false
+	}
+	top := 0
+	if !est.Feasible {
+		for i := 1; i < n; i++ {
+			if est.Stages[i].PeakMem > est.Stages[top].PeakMem {
+				top = i
+			}
+		}
+	} else {
+		for i := 1; i < n; i++ {
+			if est.Stages[i].StageTime > est.Stages[top].StageTime {
+				top = i
+			}
+		}
+	}
+	var totalComp, totalComm float64
+	for i := range est.Stages {
+		sm := &est.Stages[i]
+		totalComp += sm.CompTime()
+		totalComm += sm.CommTime(est.Microbatches)
+	}
+	for len(s.bnBufAt) <= hop {
+		s.bnBufAt = append(s.bnBufAt, make([]Resource, 0, 4))
+	}
+	rs := s.bnBufAt[hop][:0]
+	sm := &est.Stages[top]
+	memCap := s.cluster.MemoryBytes
+	if sm.CapMem > 0 && sm.CapMem < memCap {
+		memCap = sm.CapMem
+	}
+	if !est.Feasible && sm.PeakMem > memCap {
+		rs = append(rs, Mem)
+	}
+	comp := proportion(sm.CompTime(), totalComp)
+	comm := proportion(sm.CommTime(est.Microbatches), totalComm)
+	if comp >= comm {
+		rs = append(rs, Comp, Comm)
+	} else {
+		rs = append(rs, Comm, Comp)
+	}
+	if est.Feasible && sm.PeakMem > 0.9*memCap {
+		rs = append(rs, Mem)
+	}
+	s.bnBufAt[hop] = rs
+	return Bottleneck{Stage: top, Resources: rs}, true
+}
+
 // attachRecompute implements the §4.3 combination "attach inc/dec-rc
 // to all other primitives": after any reconfiguration, greedily add
 // recomputation in over-memory stages (largest activations first)
@@ -750,6 +997,11 @@ func (s *searcher) attachRecompute(cfg *config.Config) *config.Config {
 	if e.Feasible {
 		return cfg
 	}
+	// The applyIncRC calls below run while the caller may still be
+	// iterating another apply function's result — switch to the nested
+	// apply buffer so they don't clobber it (see applyBufs).
+	s.applyDepth++
+	defer func() { s.applyDepth-- }()
 	out := cfg
 	for si := range out.Stages {
 		if e.Stages[si].PeakMem <= e.Stages[si].CapMem {
@@ -769,6 +1021,16 @@ func (s *searcher) attachRecompute(cfg *config.Config) *config.Config {
 				break
 			}
 		}
+		// Unpicked trials and the superseded intermediate are dead —
+		// never pooled, never returned.
+		for _, c := range cands {
+			if c != pick {
+				s.discard(c)
+			}
+		}
+		if out != cfg && out != pick {
+			s.discard(out)
+		}
 		out = pick
 		e = s.estimate(out)
 		if e.Feasible {
@@ -778,31 +1040,53 @@ func (s *searcher) attachRecompute(cfg *config.Config) *config.Config {
 	return out
 }
 
+// poolEntry is prunePool's sort record; poolEntries implements
+// sort.Interface on the pointer so sort.Sort neither boxes a slice
+// header nor goes through reflection — with the buffer hoisted into
+// the searcher, a prune allocates nothing in steady state (pinned by
+// TestPruneInsertAllocs).
+type poolEntry struct {
+	h     uint64
+	score float64
+	cfg   *config.Config
+}
+
+type poolEntries []poolEntry
+
+func (p *poolEntries) Len() int { return len(*p) }
+func (p *poolEntries) Less(a, b int) bool {
+	s := *p
+	if s[a].score != s[b].score {
+		return s[a].score < s[b].score
+	}
+	return s[a].h < s[b].h
+}
+func (p *poolEntries) Swap(a, b int) {
+	s := *p
+	s[a], s[b] = s[b], s[a]
+}
+
 // prunePool drops the worst-scoring entries of an oversized pool,
 // keeping the best poolCap/2 (deterministic: ties broken by hash). The
 // half-cap target leaves insert headroom so the pool is not re-pruned
-// on nearly every insert once it first fills.
+// on nearly every insert once it first fills. Evicted configs go to
+// limbo, not straight back to the arena: candidate slices of multiHop
+// frames still on the stack may alias them until the iteration ends.
 func (s *searcher) prunePool() {
 	keep := poolCap / 2
 	if len(s.pool) <= keep {
 		return
 	}
-	type entry struct {
-		h uint64
-		c *Candidate
-	}
-	all := make([]entry, 0, len(s.pool))
+	all := s.pruneBuf[:0]
 	for h, c := range s.pool {
-		all = append(all, entry{h, c})
+		all = append(all, poolEntry{h, c.Score, c.Config})
 	}
-	sort.Slice(all, func(a, b int) bool {
-		if all[a].c.Score != all[b].c.Score {
-			return all[a].c.Score < all[b].c.Score
-		}
-		return all[a].h < all[b].h
-	})
+	s.pruneBuf = all
+	sort.Sort(&s.pruneBuf)
+	all = s.pruneBuf
 	for _, e := range all[keep:] {
 		delete(s.pool, e.h)
+		s.limbo = append(s.limbo, e.cfg)
 	}
 	if s.met != nil {
 		s.met.prunes.Inc()
@@ -813,17 +1097,18 @@ func (s *searcher) prunePool() {
 // configuration (deterministic: ties broken by hash).
 func (s *searcher) popBestUnexplored() *config.Config {
 	var bestH uint64
-	var best *Candidate
+	var bestCfg *config.Config
+	bestScore := math.Inf(1)
 	for h, c := range s.pool {
-		if best == nil || c.Score < best.Score || c.Score == best.Score && h < bestH {
-			best, bestH = c, h
+		if bestCfg == nil || c.Score < bestScore || c.Score == bestScore && h < bestH {
+			bestCfg, bestScore, bestH = c.Config, c.Score, h
 		}
 	}
-	if best == nil {
+	if bestCfg == nil {
 		return nil
 	}
 	delete(s.pool, bestH)
-	return best.Config
+	return bestCfg
 }
 
 // insertTopK keeps a ranked, hash-deduplicated list of the k best

@@ -372,7 +372,7 @@ func TestPoolPruneKeepsBest(t *testing.T) {
 		for j := 0; j < len(c.Stages[0].Ops); j++ {
 			c.Stages[0].Ops[j].Recompute = (n>>j)&1 == 1
 		}
-		s.pool[c.Hash()] = &Candidate{Config: c, Score: float64(n)}
+		s.pool[c.Hash()] = Candidate{Config: c, Score: float64(n)}
 	}
 	if len(s.pool) != 2*poolCap+10 {
 		t.Fatalf("setup produced %d distinct configs", len(s.pool))
@@ -398,13 +398,13 @@ func TestPrunePoolKeepsBestHalf(t *testing.T) {
 	// half" but truncated only to poolCap, so a pool at its trigger size
 	// re-pruned after nearly every subsequent insert. It must prune to
 	// poolCap/2 (deterministic, hash-tiebroken).
-	s := &searcher{pool: make(map[uint64]*Candidate)}
+	s := &searcher{pool: make(map[uint64]Candidate)}
 	n := poolCap + 1
 	for i := 0; i < n; i++ {
 		h := uint64(i)
 		// Two-valued scores exercise the hash tiebreak across the cut.
 		score := float64(i % 2)
-		s.pool[h] = &Candidate{Score: score, hash: h}
+		s.pool[h] = Candidate{Score: score, hash: h}
 	}
 	s.prunePool()
 	if len(s.pool) != poolCap/2 {

@@ -111,15 +111,15 @@ func (f *FaultSpec) Validate(c Cluster) error {
 // from the logical device count, deratings and link scales attach to
 // the returned copy. The input cluster must be healthy (not already
 // degraded) and the spec must validate against it.
-func (c Cluster) Degrade(f FaultSpec) (Cluster, error) {
+func (c *Cluster) Degrade(f FaultSpec) (Cluster, error) {
 	if c.Faults != nil {
-		return c, fmt.Errorf("hardware: cluster already degraded")
+		return *c, fmt.Errorf("hardware: cluster already degraded")
 	}
 	if err := c.Validate(); err != nil {
-		return c, err
+		return *c, err
 	}
-	if err := f.Validate(c); err != nil {
-		return c, err
+	if err := f.Validate(*c); err != nil {
+		return *c, err
 	}
 	norm := FaultSpec{
 		IntraBWScale:  f.IntraBWScale,
@@ -137,13 +137,13 @@ func (c Cluster) Degrade(f FaultSpec) (Cluster, error) {
 		}
 	}
 	sort.Ints(norm.dead)
-	out := c
+	out := *c
 	out.Faults = &norm
 	return out, nil
 }
 
 // DeadDevices returns how many devices the fault spec removed.
-func (c Cluster) DeadDevices() int {
+func (c *Cluster) DeadDevices() int {
 	if c.Faults == nil {
 		return 0
 	}
@@ -152,7 +152,7 @@ func (c Cluster) DeadDevices() int {
 
 // PhysOf maps a logical device rank (survivors renumbered
 // contiguously) to its physical rank on the healthy grid.
-func (c Cluster) PhysOf(logical int) int {
+func (c *Cluster) PhysOf(logical int) int {
 	if c.Faults == nil || len(c.Faults.dead) == 0 {
 		return logical
 	}
@@ -166,7 +166,7 @@ func (c Cluster) PhysOf(logical int) int {
 }
 
 // deviceFault returns the fault entry for a logical rank, or nil.
-func (c Cluster) deviceFault(logical int) *DeviceFault {
+func (c *Cluster) deviceFault(logical int) *DeviceFault {
 	if c.Faults == nil || len(c.Faults.derated) == 0 {
 		return nil
 	}
@@ -191,7 +191,7 @@ func clampScale(v float64) float64 {
 
 // DeviceFLOPSScale returns the throughput derate of one logical rank
 // (1 = healthy).
-func (c Cluster) DeviceFLOPSScale(logical int) float64 {
+func (c *Cluster) DeviceFLOPSScale(logical int) float64 {
 	if d := c.deviceFault(logical); d != nil {
 		return clampScale(d.FLOPSScale)
 	}
@@ -199,7 +199,7 @@ func (c Cluster) DeviceFLOPSScale(logical int) float64 {
 }
 
 // DeviceMemory returns the usable memory of one logical rank.
-func (c Cluster) DeviceMemory(logical int) float64 {
+func (c *Cluster) DeviceMemory(logical int) float64 {
 	if d := c.deviceFault(logical); d != nil {
 		return c.MemoryBytes * clampScale(d.MemScale)
 	}
@@ -209,7 +209,7 @@ func (c Cluster) DeviceMemory(logical int) float64 {
 // RangeFLOPSScale returns the minimum throughput derate over the
 // logical range [first, first+size): a synchronous group runs at its
 // slowest member's pace.
-func (c Cluster) RangeFLOPSScale(first, size int) float64 {
+func (c *Cluster) RangeFLOPSScale(first, size int) float64 {
 	if c.Faults == nil || len(c.Faults.derated) == 0 {
 		return 1
 	}
@@ -225,7 +225,7 @@ func (c Cluster) RangeFLOPSScale(first, size int) float64 {
 // RangeMemory returns the minimum usable memory over the logical range
 // [first, first+size): symmetric stages are sized for their most
 // constrained device.
-func (c Cluster) RangeMemory(first, size int) float64 {
+func (c *Cluster) RangeMemory(first, size int) float64 {
 	if c.Faults == nil || len(c.Faults.derated) == 0 {
 		return c.MemoryBytes
 	}
@@ -240,12 +240,12 @@ func (c Cluster) RangeMemory(first, size int) float64 {
 
 // MinDeviceMemory returns the smallest usable per-device memory in the
 // cluster (the normalizer for infeasibility penalties).
-func (c Cluster) MinDeviceMemory() float64 {
+func (c *Cluster) MinDeviceMemory() float64 {
 	return c.RangeMemory(0, c.TotalDevices())
 }
 
 // EffIntraBW returns the intra-node bandwidth after link faults.
-func (c Cluster) EffIntraBW() float64 {
+func (c *Cluster) EffIntraBW() float64 {
 	if c.Faults == nil || c.Faults.IntraBWScale == 0 {
 		return c.IntraBW
 	}
@@ -253,7 +253,7 @@ func (c Cluster) EffIntraBW() float64 {
 }
 
 // EffInterBW returns the inter-node bandwidth after link faults.
-func (c Cluster) EffInterBW() float64 {
+func (c *Cluster) EffInterBW() float64 {
 	if c.Faults == nil || c.Faults.InterBWScale == 0 {
 		return c.InterBW
 	}
@@ -261,7 +261,7 @@ func (c Cluster) EffInterBW() float64 {
 }
 
 // EffIntraLat returns the intra-node latency after link faults.
-func (c Cluster) EffIntraLat() float64 {
+func (c *Cluster) EffIntraLat() float64 {
 	if c.Faults == nil || c.Faults.IntraLatScale == 0 {
 		return c.IntraLat
 	}
@@ -269,7 +269,7 @@ func (c Cluster) EffIntraLat() float64 {
 }
 
 // EffInterLat returns the inter-node latency after link faults.
-func (c Cluster) EffInterLat() float64 {
+func (c *Cluster) EffInterLat() float64 {
 	if c.Faults == nil || c.Faults.InterLatScale == 0 {
 		return c.InterLat
 	}

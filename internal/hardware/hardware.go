@@ -87,10 +87,10 @@ func DGX1V100(nodes int) Cluster {
 
 // TotalDevices returns the number of usable devices in the cluster
 // (dead devices removed by Degrade do not count).
-func (c Cluster) TotalDevices() int { return c.Nodes*c.DevicesPerNode - c.DeadDevices() }
+func (c *Cluster) TotalDevices() int { return c.Nodes*c.DevicesPerNode - c.DeadDevices() }
 
 // PeakFLOPS returns the peak per-device throughput for a precision.
-func (c Cluster) PeakFLOPS(p Precision) float64 {
+func (c *Cluster) PeakFLOPS(p Precision) float64 {
 	if p == FP32 {
 		return c.FP32FLOPS
 	}
@@ -101,7 +101,7 @@ func (c Cluster) PeakFLOPS(p Precision) float64 {
 // numeric field must be finite: NaN compares false against any bound,
 // so explicit non-finite checks are what keeps poisoned descriptions
 // out of the search's scores.
-func (c Cluster) Validate() error {
+func (c *Cluster) Validate() error {
 	switch {
 	case c.Nodes <= 0:
 		return fmt.Errorf("hardware: Nodes = %d, want > 0", c.Nodes)
@@ -119,7 +119,7 @@ func (c Cluster) Validate() error {
 		return fmt.Errorf("hardware: negative or non-finite latency")
 	}
 	if c.Faults != nil {
-		healthy := c
+		healthy := *c
 		healthy.Faults = nil
 		if err := c.Faults.Validate(healthy); err != nil {
 			return err
@@ -129,11 +129,11 @@ func (c Cluster) Validate() error {
 }
 
 // NodeOf returns the node index hosting a (logical) device rank.
-func (c Cluster) NodeOf(dev int) int { return c.PhysOf(dev) / c.DevicesPerNode }
+func (c *Cluster) NodeOf(dev int) int { return c.PhysOf(dev) / c.DevicesPerNode }
 
 // GroupSpansNodes reports whether the contiguous device range
 // [first, first+size) crosses a node boundary.
-func (c Cluster) GroupSpansNodes(first, size int) bool {
+func (c *Cluster) GroupSpansNodes(first, size int) bool {
 	if size <= 1 {
 		return false
 	}

@@ -25,12 +25,12 @@ package perfmodel
 import (
 	"fmt"
 	"math"
-	"sync"
 	"sync/atomic"
 
 	"aceso/internal/collective"
 	"aceso/internal/config"
 	"aceso/internal/hardware"
+	"aceso/internal/memo"
 	"aceso/internal/model"
 	"aceso/internal/profiler"
 )
@@ -161,8 +161,7 @@ type Model struct {
 	// from scratch — the reference path for equivalence tests.
 	DisableStageCache bool
 
-	scmu   sync.RWMutex
-	scache map[stageKey]StageMetrics
+	scache memo.SnapMap[stageKey, StageMetrics]
 
 	// Cache effectiveness counters, exposed through StageCacheStats for
 	// the observability layer (internal/obs). Always on: two atomic
@@ -173,19 +172,21 @@ type Model struct {
 
 // New builds a performance model backed by a profiler database.
 func New(g *model.Graph, c hardware.Cluster, seed int64) *Model {
-	return &Model{
+	m := &Model{
 		Graph:   g,
 		Cluster: c,
 		Prof:    profiler.New(c, seed),
-		scache:  make(map[stageKey]StageMetrics),
 	}
+	// The stage cache grows to tens of thousands of entries in a long
+	// search; a larger merge threshold keeps the snapshot-copy churn
+	// (entries²/threshold) bounded. See memo.SnapMap.
+	m.scache.Threshold = 4096
+	return m
 }
 
 // StageCacheEntries returns the number of memoized stage evaluations.
 func (m *Model) StageCacheEntries() int {
-	m.scmu.RLock()
-	defer m.scmu.RUnlock()
-	return len(m.scache)
+	return m.scache.Len()
 }
 
 // StageCacheStats returns the cumulative stage-cache hit and miss
@@ -204,21 +205,18 @@ func (m *Model) stageMetrics(st *config.Stage, microBatch, firstDev, inflight, p
 		return m.evalStage(st, microBatch, firstDev, inflight, prevDevices)
 	}
 	key := stageKey{st.SubHash(), microBatch, firstDev, inflight, prevDevices}
-	m.scmu.RLock()
-	sm, ok := m.scache[key]
-	m.scmu.RUnlock()
-	if ok {
+	if sm, ok := m.scache.Load(key); ok {
 		m.scHits.Add(1)
 		return sm
 	}
 	m.scMisses.Add(1)
-	sm = m.evalStage(st, microBatch, firstDev, inflight, prevDevices)
-	m.scmu.Lock()
-	if m.scache == nil || len(m.scache) >= stageCacheCap {
-		m.scache = make(map[stageKey]StageMetrics)
+	sm := m.evalStage(st, microBatch, firstDev, inflight, prevDevices)
+	if m.scache.Len() >= stageCacheCap {
+		// Values are pure functions of keys, so a wholesale reset on
+		// overflow changes no results, only recomputation counts.
+		m.scache.Replace(nil)
 	}
-	m.scache[key] = sm
-	m.scmu.Unlock()
+	m.scache.Store(key, sm)
 	return sm
 }
 
@@ -233,16 +231,21 @@ func optBytes(p hardware.Precision) float64 {
 // Estimate predicts the execution of cfg. cfg must be valid for the
 // model's graph and cluster.
 func (m *Model) Estimate(cfg *config.Config) *Estimate {
+	return m.EstimateIn(cfg, nil)
+}
+
+// EstimateIn is Estimate with the result carved out of a (a nil arena
+// degrades to plain allocation). The search hot path passes its
+// per-searcher arena; every other caller goes through Estimate.
+func (m *Model) EstimateIn(cfg *config.Config, a *EstArena) *Estimate {
 	g := m.Graph
 	p := cfg.NumStages()
 	n := cfg.NumMicrobatches(g.GlobalBatch)
 
-	est := &Estimate{
-		Stages:       make([]StageMetrics, p),
-		OOMStage:     -1,
-		Feasible:     true,
-		Microbatches: n,
-	}
+	est := a.alloc(p)
+	est.OOMStage = -1
+	est.Feasible = true
+	est.Microbatches = n
 	// A degenerate configuration whose microbatch (times dp) exceeds the
 	// global batch performs zero microbatches — zero work. Historically
 	// this returned a finite-IterTime Feasible estimate (all-warm-up, no
@@ -311,7 +314,7 @@ func (m *Model) evalStage(st *config.Stage, microBatch, firstDev, inflight, prev
 			set := st.Setting(j)
 			dim := op.Dims[set.Dim]
 			samples := microBatch / set.DP
-			tpPlace := collective.PlacementFor(m.Cluster, firstDev, set.TP)
+			tpPlace := collective.PlacementFor(&m.Cluster, firstDev, set.TP)
 
 			// Effective compute sharding.
 			shards := 1
@@ -352,7 +355,7 @@ func (m *Model) evalStage(st *config.Stage, microBatch, firstDev, inflight, prev
 			// reshard traffic, not a tensor-parallel collective.
 			if prevDP != 0 && set.DP != prevDP {
 				t := m.Prof.AllGather(prevActBytes*float64(microBatch)*bpe/float64(st.Devices), st.Devices,
-					collective.PlacementFor(m.Cluster, firstDev, st.Devices))
+					collective.PlacementFor(&m.Cluster, firstDev, st.Devices))
 				sm.FwdTime += t
 				sm.BwdTime += t
 				sm.ReshardComm += 2 * t
@@ -420,7 +423,7 @@ func (m *Model) evalStage(st *config.Stage, microBatch, firstDev, inflight, prev
 
 			// Data-parallel gradient sync (per iteration).
 			if set.DP > 1 && op.Params > 0 {
-				dpPlace := collective.PlacementFor(m.Cluster, firstDev, st.Devices)
+				dpPlace := collective.PlacementFor(&m.Cluster, firstDev, st.Devices)
 				sm.DPSync += m.Prof.AllReduce(paramBytes, set.DP, dpPlace)
 				if set.ZeRO {
 					// Each rank updates its optimizer shard; the
@@ -451,7 +454,7 @@ func (m *Model) evalStage(st *config.Stage, microBatch, firstDev, inflight, prev
 				lanes = st.Devices
 			}
 			bytes := in.ActElems * float64(microBatch) * bpe / float64(lanes)
-			pl := collective.PlacementFor(m.Cluster, firstDev-1, 2)
+			pl := collective.PlacementFor(&m.Cluster, firstDev-1, 2)
 			t := m.Prof.P2P(bytes, pl)
 			sm.FwdTime += t
 			sm.BwdTime += t
@@ -465,29 +468,28 @@ func (m *Model) evalStage(st *config.Stage, microBatch, firstDev, inflight, prev
 }
 
 // composeIterTime fills StageTime and IterTime from the per-stage
-// metrics under 1F1B scheduling (Eq. 2).
+// metrics under 1F1B scheduling (Eq. 2). The warm-up prefix sums are
+// staged through the StageTime fields themselves instead of scratch
+// slices, keeping the per-estimate hot path allocation-free; the
+// addition order matches the historical two-slice form exactly
+// (warm + steady + cool + sync, left-associated), so StageTime is
+// bitwise unchanged.
 func (m *Model) composeIterTime(est *Estimate, n int) {
 	p := len(est.Stages)
-	// Eq. 2: compose warm-up, steady state and cool-down per stage.
 	var warm float64
-	warms := make([]float64, p)
 	for i := 0; i < p; i++ {
 		warm += est.Stages[i].FwdTime
-		warms[i] = warm
-	}
-	var cool float64
-	cools := make([]float64, p)
-	for i := p - 1; i >= 0; i-- {
-		cool += est.Stages[i].BwdTime
-		cools[i] = cool
+		est.Stages[i].StageTime = warm
 	}
 	steadyN := float64(n - 1)
 	if steadyN < 0 {
 		steadyN = 0
 	}
-	for i := 0; i < p; i++ {
+	var cool float64
+	for i := p - 1; i >= 0; i-- {
 		sm := &est.Stages[i]
-		sm.StageTime = warms[i] + steadyN*(sm.FwdTime+sm.BwdTime) + cools[i] + sm.DPSync
+		cool += sm.BwdTime
+		sm.StageTime = sm.StageTime + steadyN*(sm.FwdTime+sm.BwdTime) + cool + sm.DPSync
 		if sm.StageTime > est.IterTime {
 			est.IterTime = sm.StageTime
 		}

@@ -24,6 +24,7 @@ import (
 
 	"aceso/internal/collective"
 	"aceso/internal/hardware"
+	"aceso/internal/memo"
 	"aceso/internal/model"
 )
 
@@ -80,6 +81,65 @@ func (k opKey) String() string {
 	return string(k.appendTo(make([]byte, 0, 64)))
 }
 
+// opMapKey is opKey's database-map form: the numeric fields packed
+// into one word so the per-lookup hash covers a string and a uint64
+// instead of a seven-field struct. OpTime is the single hottest memo
+// lookup of the search (every operator of every uncached stage), and
+// the wide struct key's hash and equality showed up in CPU profiles.
+type opMapKey struct {
+	name string
+	bits uint64
+}
+
+// Field widths of the packed key. tp and shards are parallelism
+// degrees bounded by the cluster size (1<<13 covers 8192 devices),
+// samples by the global batch, dim by an op's partition choices.
+const (
+	opkTPBits      = 13
+	opkDimBits     = 8
+	opkSamplesBits = 21
+	opkShardsBits  = 13
+)
+
+// pack folds the numeric fields into one word. ok=false means a field
+// exceeds its width — the caller must then compute without memoizing
+// (the database would need the wide key), which stays correct because
+// every entry is a pure function of its key.
+func (k opKey) pack() (opMapKey, bool) {
+	if k.tp >= 1<<opkTPBits || k.dim >= 1<<opkDimBits ||
+		k.samples >= 1<<opkSamplesBits || k.shards >= 1<<opkShardsBits ||
+		k.tp < 0 || k.dim < 0 || k.samples < 0 || k.shards < 0 ||
+		k.prec < 0 || k.prec > 3 {
+		return opMapKey{}, false
+	}
+	b := uint64(k.tp)
+	b = b<<opkDimBits | uint64(k.dim)
+	b = b<<opkSamplesBits | uint64(k.samples)
+	b = b<<opkShardsBits | uint64(k.shards)
+	b <<= 3
+	if k.backward {
+		b |= 1 << 2
+	}
+	b |= uint64(k.prec) & 3
+	return opMapKey{k.name, b}, true
+}
+
+// unpack inverts pack (lossless for in-range fields), so Save can
+// reconstruct the serialized key text from the map form.
+func (k opMapKey) unpack() opKey {
+	b := k.bits
+	out := opKey{name: k.name, prec: hardware.Precision(b & 3), backward: b&(1<<2) != 0}
+	b >>= 3
+	out.shards = int(b & (1<<opkShardsBits - 1))
+	b >>= opkShardsBits
+	out.samples = int(b & (1<<opkSamplesBits - 1))
+	b >>= opkSamplesBits
+	out.dim = int(b & (1<<opkDimBits - 1))
+	b >>= opkDimBits
+	out.tp = int(b)
+	return out
+}
+
 // parseOpKey inverts String; reports ok=false on malformed input.
 func parseOpKey(s string) (opKey, bool) {
 	var k opKey
@@ -109,15 +169,14 @@ func parseOpKey(s string) (opKey, bool) {
 
 // Profiler produces operator and collective times for one cluster. It
 // is safe for concurrent use by the parallel stage-count searches.
+// The memo maps are snapshot-based (see memo.SnapMap) so the hit path —
+// taken for every operator of every evaluated stage — is lock-free.
 type Profiler struct {
 	Cluster hardware.Cluster
 	Seed    int64
 
-	mu sync.RWMutex
-	db map[opKey]float64
-
-	cmu   sync.RWMutex
-	cmult map[collKey]float64
+	db    memo.SnapMap[opMapKey, float64]
+	cmult memo.SnapMap[collKey, float64]
 }
 
 // collKey identifies a collective perturbation multiplier.
@@ -129,23 +188,16 @@ type collKey struct {
 
 // New returns a Profiler for the cluster with a deterministic seed.
 func New(c hardware.Cluster, seed int64) *Profiler {
-	return &Profiler{
-		Cluster: c,
-		Seed:    seed,
-		db:      make(map[opKey]float64),
-		cmult:   make(map[collKey]float64),
-	}
+	return &Profiler{Cluster: c, Seed: seed}
 }
 
 // collPerturb memoizes the perturbation multiplier for a collective.
 func (p *Profiler) collPerturb(kind byte, group int, pl collective.Placement) float64 {
 	key := collKey{kind, group, pl}
-	p.cmu.RLock()
-	m, ok := p.cmult[key]
-	p.cmu.RUnlock()
-	if ok {
-		return m
+	if v, ok := p.cmult.Load(key); ok {
+		return v
 	}
+	var m float64
 	// Byte-identical to fmt.Sprintf("%c|%d|%d", kind, group, pl): kind
 	// is always an ASCII letter, so %c emits the byte itself.
 	var buf [32]byte
@@ -154,9 +206,7 @@ func (p *Profiler) collPerturb(kind byte, group int, pl collective.Placement) fl
 	b = append(b, '|')
 	b = strconv.AppendInt(b, int64(pl), 10)
 	m = p.perturb(b)
-	p.cmu.Lock()
-	p.cmult[key] = m
-	p.cmu.Unlock()
+	p.cmult.Store(key, m)
 	return m
 }
 
@@ -194,12 +244,13 @@ func (p *Profiler) OpTime(op *model.Op, tp, dim, samples, shards int, backward b
 		dim = 0
 	}
 	key := opKey{op.Name, tp, dim, samples, shards, backward, prec}
-	p.mu.RLock()
-	t, ok := p.db[key]
-	p.mu.RUnlock()
-	if ok {
-		return t
+	mk, packable := key.pack()
+	if packable {
+		if v, ok := p.db.Load(mk); ok {
+			return v
+		}
 	}
+	var t float64
 
 	flops := op.FwdFLOPs * float64(samples) / float64(shards)
 	if backward {
@@ -214,9 +265,9 @@ func (p *Profiler) OpTime(op *model.Op, tp, dim, samples, shards int, backward b
 	var kb [96]byte
 	t *= p.perturb(key.appendTo(kb[:0]))
 
-	p.mu.Lock()
-	p.db[key] = t
-	p.mu.Unlock()
+	if packable {
+		p.db.Store(mk, t)
+	}
 	return t
 }
 
@@ -225,7 +276,7 @@ func (p *Profiler) AllReduce(bytes float64, group int, pl collective.Placement) 
 	if group <= 1 || bytes <= 0 {
 		return 0
 	}
-	t := collective.AllReduce(p.Cluster, bytes, group, pl)
+	t := collective.AllReduce(&p.Cluster, bytes, group, pl)
 	return t * p.collPerturb('r', group, pl)
 }
 
@@ -234,7 +285,7 @@ func (p *Profiler) AllGather(bytes float64, group int, pl collective.Placement) 
 	if group <= 1 || bytes <= 0 {
 		return 0
 	}
-	t := collective.AllGather(p.Cluster, bytes, group, pl)
+	t := collective.AllGather(&p.Cluster, bytes, group, pl)
 	return t * p.collPerturb('g', group, pl)
 }
 
@@ -243,26 +294,20 @@ func (p *Profiler) P2P(bytes float64, pl collective.Placement) float64 {
 	if bytes <= 0 {
 		return 0
 	}
-	t := collective.P2P(p.Cluster, bytes, pl)
+	t := collective.P2P(&p.Cluster, bytes, pl)
 	return t * p.collPerturb('p', 0, pl)
 }
 
 // Entries returns the number of memoized operator entries.
-func (p *Profiler) Entries() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.db)
-}
+func (p *Profiler) Entries() int { return p.db.Len() }
 
 // Save writes the memoized database as JSON, mirroring the reusable
 // profiled database of §3.3.
 func (p *Profiler) Save(w io.Writer) error {
-	p.mu.Lock()
-	out := make(map[string]float64, len(p.db))
-	for k, v := range p.db {
-		out[k.String()] = v
-	}
-	p.mu.Unlock()
+	out := make(map[string]float64, p.db.Len())
+	p.db.ForEach(func(k opMapKey, v float64) {
+		out[k.unpack().String()] = v
+	})
 	return json.NewEncoder(w).Encode(out)
 }
 
@@ -277,7 +322,7 @@ func (p *Profiler) Load(r io.Reader) error {
 	if err := json.NewDecoder(r).Decode(&raw); err != nil {
 		return fmt.Errorf("profiler: load: %w", err)
 	}
-	db := make(map[opKey]float64, len(raw))
+	db := make(map[opMapKey]float64, len(raw))
 	for s, v := range raw {
 		k, ok := parseOpKey(s)
 		if !ok {
@@ -286,11 +331,15 @@ func (p *Profiler) Load(r io.Reader) error {
 		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
 			return fmt.Errorf("profiler: load: entry %q has invalid time %v", s, v)
 		}
-		db[k] = v
+		mk, packable := k.pack()
+		if !packable {
+			return fmt.Errorf("profiler: load: entry %q out of packable range", s)
+		}
+		db[mk] = v
 	}
-	p.mu.Lock()
-	p.db = db
-	p.mu.Unlock()
+	// Validation passed in full — only now touch the live database, so
+	// a rejected file leaves the profiler unchanged.
+	p.db.Replace(db)
 	return nil
 }
 
