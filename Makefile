@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test ci bench-search bench-guard bench-scale chaos fuzz-smoke trace-smoke diff-smoke elastic-smoke
+.PHONY: build test ci bench-search bench-guard bench-scale chaos fuzz-smoke trace-smoke diff-smoke elastic-smoke churn-smoke
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,9 @@ test:
 # tuples; any Eq.1/Eq.2 invariant violation fails the build and leaves
 # a shrunken repro JSON behind), and the elastic-runtime smoke
 # (checkpoint → kill → replan → reshard → resume must rejoin the
-# uninterrupted trajectory, plus randomized elastic chaos trials).
+# uninterrupted trajectory, plus randomized elastic chaos trials), and
+# the continuous-churn smoke (a seeded multi-event schedule through
+# elastic.Supervise plus randomized churn chaos trials).
 ci: build
 	$(GO) vet ./...
 	$(GO) test ./...
@@ -33,6 +35,7 @@ ci: build
 	$(MAKE) chaos CHAOS_DURATION=10s
 	$(MAKE) diff-smoke
 	$(MAKE) elastic-smoke
+	$(MAKE) churn-smoke
 
 # trace-smoke runs the observability target into a scratch directory:
 # it exercises the JSONL tracer, the metrics registry and the breakdown
@@ -58,6 +61,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzOpKeyRoundTrip -fuzztime=5s ./internal/profiler
 	$(GO) test -fuzz=FuzzSearchNeverPanics -fuzztime=5s ./internal/core
 	$(GO) test -fuzz=FuzzCheckpointLoadNeverPanics -fuzztime=5s ./internal/elastic
+	$(GO) test -fuzz=FuzzChurnEventsNeverPanic -fuzztime=5s ./internal/elastic
 
 # elastic-smoke runs the elastic-runtime benchmark + randomized elastic
 # chaos trials via cmd/acesobench: it fails the build if the recovered
@@ -67,6 +71,17 @@ fuzz-smoke:
 ELASTIC_TRIALS ?= 12
 elastic-smoke:
 	$(GO) run ./cmd/acesobench -elastic-trials $(ELASTIC_TRIALS) -elasticfile /tmp/aceso_ci_elastic.json elastic
+
+# churn-smoke runs the continuous-churn supervisor benchmark (a seeded
+# 22-event schedule of preemptions, re-additions, stragglers and link
+# derates through elastic.Supervise) plus randomized churn chaos
+# trials. It fails the build if the supervised run diverges from the
+# uninterrupted trajectory, the hysteresis never defers a replan, or
+# any trial violates the availability/monotonicity invariants. It
+# writes BENCH_churn.json into /tmp to keep the tree clean.
+CHURN_TRIALS ?= 12
+churn-smoke:
+	$(GO) run ./cmd/acesobench -churn-trials $(CHURN_TRIALS) -churnfile /tmp/aceso_ci_churn.json churn
 
 # chaos runs the fault-injection harness (internal/chaos) for a short
 # wall budget; it exits non-zero on any panic, invalid plan or

@@ -27,6 +27,7 @@ import (
 
 	"aceso/internal/baselines/alpa"
 	"aceso/internal/baselines/megatron"
+	"aceso/internal/chaos"
 	"aceso/internal/config"
 	"aceso/internal/core"
 	"aceso/internal/elastic"
@@ -56,6 +57,8 @@ func main() {
 		err = runProfile(os.Args[2:])
 	case "elastic":
 		err = runElastic(os.Args[2:])
+	case "churn":
+		err = runChurn(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -67,12 +70,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: aceso <search|estimate|baseline|profile|elastic> [flags]
+	fmt.Fprintln(os.Stderr, `usage: aceso <search|estimate|baseline|profile|elastic|churn> [flags]
   aceso search   -model gpt3 -size 1.3B -gpus 4 [-budget 2s] [-maxhops 7] [-seed 1] [-db db.json]
   aceso estimate -model gpt3 -size 1.3B -gpus 4 -pp 2 -tp 2 -dp 1 -mbs 1 [-recompute]
   aceso baseline -model gpt3 -size 1.3B -gpus 4
   aceso profile  -model gpt3 -size 1.3B -gpus 4 -o profile-db.json
   aceso elastic  -layers 6 -dim 16 -batch 32 -iters 8 -fault-rank 2 -fault-iter 4
+  aceso churn    -layers 6 -dim 16 -batch 32 -iters 12 [-events 8] [-seed 1]
 models: gpt3 (350M 1.3B 2.6B 6.7B 13B), t5 (770M 3B 6B 11B 22B),
         wresnet (0.5B 2B 4B 6.8B 13B), llama (8B 70B),
         deep-<layers> (e.g. deep-1024)`)
@@ -309,6 +313,106 @@ func runElastic(args []string) error {
 	}
 	fmt.Printf("final state: step %d, max parameter divergence from uninterrupted run %.3g\n",
 		rep.FinalStep, ref.MaxDiff(rep.Params))
+	return nil
+}
+
+// runChurn is the continuous-churn demo: train a small MLP under a
+// randomly drawn stream of preemptions, re-additions and derates, and
+// narrate every supervisor decision — deferred and forced replans,
+// ladder rungs, backoff retries, pauses — as a live timeline, ending
+// with the availability ledger and the divergence from an
+// uninterrupted reference run.
+func runChurn(args []string) error {
+	fs := flag.NewFlagSet("churn", flag.ExitOnError)
+	layers := fs.Int("layers", 6, "MLP layers")
+	dim := fs.Int("dim", 16, "MLP hidden width")
+	batch := fs.Int("batch", 32, "global batch rows")
+	iters := fs.Int("iters", 12, "training iterations")
+	events := fs.Int("events", 8, "maximum churn events to draw")
+	ckptEvery := fs.Int("ckpt-every", 2, "initial checkpoint cadence in iterations")
+	seed := fs.Int64("seed", 1, "deterministic seed")
+	fs.Parse(args)
+
+	g, err := model.MLP(*layers, *dim, *batch)
+	if err != nil {
+		return err
+	}
+	cfg, err := config.Balanced(g, 4, 2, *batch/4)
+	if err != nil {
+		return err
+	}
+	for i := range cfg.Stages {
+		for j := range cfg.Stages[i].Ops {
+			cfg.Stages[i].Ops[j] = config.OpSetting{TP: 2, DP: 1}
+		}
+	}
+	cl := hardware.DGX1V100(1).Restrict(4)
+	if err := cfg.Validate(g, cl.TotalDevices()); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	x, y := tensor.New(*batch, *dim), tensor.New(*batch, *dim)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+		y.Data[i] = rng.NormFloat64()
+	}
+	spec := chaos.RandomChurnSpec(rng, cl.TotalDevices(), *iters, *events)
+	for tries := 0; *events > 0 && len(spec.Events) == 0 && tries < 16; tries++ {
+		// The generator draws 0..events; an empty schedule makes a dull
+		// demo, so keep drawing from the same deterministic stream.
+		spec = chaos.RandomChurnSpec(rng, cl.TotalDevices(), *iters, *events)
+	}
+	fmt.Printf("churn: MLP(%d layers, dim %d, batch %d), pp2×tp2 on %d emulated V100s, %d scheduled events:\n",
+		*layers, *dim, *batch, cl.TotalDevices(), len(spec.Events))
+	for _, ev := range spec.Events {
+		switch ev.Kind {
+		case elastic.Preempt, elastic.Readd:
+			fmt.Printf("  iter %-3d %s device %d\n", ev.Iteration, ev.Kind, ev.Device)
+		case elastic.SlowNode:
+			fmt.Printf("  iter %-3d %s device %d scale %.2f\n", ev.Iteration, ev.Kind, ev.Device, ev.Scale)
+		default:
+			fmt.Printf("  iter %-3d %s scale %.2f\n", ev.Iteration, ev.Kind, ev.Scale)
+		}
+	}
+
+	ref := runtime.InitParams(g, *seed)
+	ref.Opt = runtime.Adam
+	refLosses, err := runtime.Parallel(g, cfg, ref, x, y, 0.05, *iters)
+	if err != nil {
+		return err
+	}
+
+	p := runtime.InitParams(g, *seed)
+	p.Opt = runtime.Adam
+	fmt.Println("\ntimeline:")
+	rep, err := elastic.Supervise(context.Background(), g, cl, cfg, p, x, y, *iters, spec,
+		elastic.SuperviseOptions{
+			Options: elastic.Options{
+				LR: 0.05, CheckpointEvery: *ckptEvery, Seed: *seed,
+				SearchBudget: 300 * time.Millisecond,
+			},
+			OnTransition: func(tr elastic.Transition) {
+				fmt.Printf("  step %-3d [%s] %s\n", tr.Step, tr.Kind, tr.Detail)
+			},
+		})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%-5s %-14s %-14s\n", "iter", "uninterrupted", "churn")
+	for i := range rep.Losses {
+		fmt.Printf("%-5d %-14.9f %-14.9f\n", i, refLosses[i], rep.Losses[i])
+	}
+	fmt.Printf("\nsurvived %d events (%d in-plan faults): availability %.1f%%, %d steps lost, %d replans (%d avoided by hysteresis), %d retries, %d pauses, cadence %d→%d\n",
+		rep.EventsApplied, rep.FaultsDetected, 100*rep.Availability(), rep.StepsLost,
+		rep.Replans, rep.ReplansAvoided, rep.Retries, rep.Pauses, *ckptEvery, rep.FinalCadence)
+	if n := len(rep.Recoveries); n > 0 {
+		fmt.Printf("recovery p50 %v, p99 %v over %d recoveries; %d bytes resharded\n",
+			rep.RecoveryPercentile(0.5).Round(time.Microsecond),
+			rep.RecoveryPercentile(0.99).Round(time.Microsecond), n, rep.ReshardBytesMoved)
+	}
+	fmt.Printf("final state: step %d on %d devices, max parameter divergence from uninterrupted run %.3g\n",
+		rep.FinalStep, rep.Config.TotalDevices(), ref.MaxDiff(rep.Params))
 	return nil
 }
 

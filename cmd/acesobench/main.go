@@ -610,6 +610,243 @@ func runElasticBench(outFile string, trials int, seed int64, w io.Writer) (int, 
 	return violations, nil
 }
 
+// churnBenchFile is the BENCH_churn.json schema: one deterministic
+// 20+-event churn schedule survived end to end, with the recovery
+// policies' ledger (availability, work lost, replans avoided by
+// hysteresis, recovery percentiles), plus the verdict of the
+// randomized churn chaos pass.
+type churnBenchFile struct {
+	Setting           string         `json:"setting"`
+	Iterations        int            `json:"iterations"`
+	ScheduledEvents   int            `json:"scheduled_events"`
+	EventsApplied     int            `json:"events_applied"`
+	EventCounts       map[string]int `json:"event_counts"`
+	FaultsDetected    int            `json:"faults_detected"`
+	AvailabilityPct   float64        `json:"availability_pct"`
+	StepsLost         int            `json:"steps_lost"`
+	StepsLostPerFault float64        `json:"steps_lost_per_fault"`
+	Replans           int            `json:"replans"`
+	ReplansAvoided    int            `json:"replans_avoided"`
+	Ladder            map[string]int `json:"ladder"`
+	Retries           int            `json:"retries"`
+	Pauses            int            `json:"pauses"`
+	RecoveryP50Ms     float64        `json:"recovery_p50_ms"`
+	RecoveryP99Ms     float64        `json:"recovery_p99_ms"`
+	Checkpoints       int            `json:"checkpoints"`
+	Reshards          int            `json:"reshards"`
+	ReshardBytesMoved int64          `json:"reshard_bytes_moved"`
+	FinalCadence      int            `json:"final_cadence"`
+	FinalDevices      int            `json:"final_devices"`
+	LossDeltaFinal    float64        `json:"loss_delta_final"`
+	MaxParamDiff      float64        `json:"max_param_diff"`
+	Transitions       []string       `json:"transitions"`
+	ChaosTrials       int            `json:"chaos_trials"`
+	ChaosSurvivedRuns int            `json:"chaos_survived_runs"`
+	ChaosTypedErrs    int            `json:"chaos_typed_errors"`
+	ChaosViolations   []string       `json:"chaos_violations,omitempty"`
+	Metrics           *obs.Registry  `json:"metrics"`
+}
+
+// churnSchedule is the deterministic 22-event acceptance schedule: two
+// full preempt/readd cycles plus a late third, mild derates the
+// hysteresis should absorb, a harsh straggler that must force a
+// replan, and fabric derates with restores.
+func churnSchedule() elastic.ChurnSpec {
+	return elastic.ChurnSpec{Events: []elastic.ChurnEvent{
+		{Iteration: 2, Kind: elastic.SlowNode, Device: 5, Scale: 0.9},   // mild blip → deferred
+		{Iteration: 3, Kind: elastic.SlowNode, Device: 5, Scale: 1},     // restored
+		{Iteration: 4, Kind: elastic.LinkDerate, Scale: 0.85},           // mild fabric congestion
+		{Iteration: 5, Kind: elastic.LinkDerate, Scale: 1},              // cleared
+		{Iteration: 6, Kind: elastic.Preempt, Device: 6},                // in-plan loss → ladder
+		{Iteration: 8, Kind: elastic.Preempt, Device: 7},                // second loss
+		{Iteration: 10, Kind: elastic.Readd, Device: 6},                 // capacity returns
+		{Iteration: 11, Kind: elastic.Readd, Device: 7},                 // back to full fleet
+		{Iteration: 13, Kind: elastic.SlowNode, Device: 1, Scale: 0.3},  // harsh straggler → forced
+		{Iteration: 15, Kind: elastic.SlowNode, Device: 1, Scale: 1},    // recovered
+		{Iteration: 16, Kind: elastic.LinkDerate, Scale: 0.6},           // heavy congestion
+		{Iteration: 18, Kind: elastic.LinkDerate, Scale: 1},             // cleared
+		{Iteration: 19, Kind: elastic.Preempt, Device: 0},               // third loss
+		{Iteration: 21, Kind: elastic.Readd, Device: 0},                 // returns
+		{Iteration: 22, Kind: elastic.SlowNode, Device: 3, Scale: 0.92}, // mild
+		{Iteration: 23, Kind: elastic.SlowNode, Device: 4, Scale: 0.92}, // mild
+		{Iteration: 24, Kind: elastic.SlowNode, Device: 3, Scale: 1},
+		{Iteration: 24, Kind: elastic.SlowNode, Device: 4, Scale: 1},
+		{Iteration: 25, Kind: elastic.Preempt, Device: 2}, // late loss
+		{Iteration: 26, Kind: elastic.Readd, Device: 2},
+		{Iteration: 27, Kind: elastic.LinkDerate, Scale: 0.9}, // parting blip
+		{Iteration: 27, Kind: elastic.LinkDerate, Scale: 1},
+	}}
+}
+
+// runChurnBench survives one deterministic churn schedule (22 mixed
+// events over 28 iterations on 8 emulated V100s across 2 nodes) and
+// gates on: every iteration completed, the final trajectory matching
+// an uninterrupted run within elasticTol, and hysteresis having
+// avoided at least one replan search. It then runs the randomized
+// churn chaos pass and writes BENCH_churn.json.
+func runChurnBench(outFile string, trials int, seed int64, w io.Writer) (int, error) {
+	const (
+		layers, dim, batch = 6, 16, 32
+		iters              = 28
+		lr                 = 0.05
+	)
+	g, err := model.MLP(layers, dim, batch)
+	if err != nil {
+		return 0, err
+	}
+	cfg, err := config.Balanced(g, 8, 2, 8) // 2 stages × 4 devices, mbs 8
+	if err != nil {
+		return 0, err
+	}
+	for i := range cfg.Stages {
+		for j := range cfg.Stages[i].Ops {
+			cfg.Stages[i].Ops[j] = config.OpSetting{TP: 2, DP: 2}
+		}
+	}
+	// Two 4-device nodes instead of half a DGX: link derates then hit
+	// a fabric the plan actually crosses.
+	cl := hardware.DGX1V100(2)
+	cl.DevicesPerNode = 4
+	if err := cl.Validate(); err != nil {
+		return 0, err
+	}
+	if err := cfg.Validate(g, cl.TotalDevices()); err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	x, y := tensor.New(batch, dim), tensor.New(batch, dim)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+		y.Data[i] = rng.NormFloat64()
+	}
+
+	ref := art.InitParams(g, seed)
+	ref.Opt = art.Adam
+	refLosses, err := art.Parallel(g, cfg, ref, x, y, lr, iters)
+	if err != nil {
+		return 0, err
+	}
+
+	dir, err := os.MkdirTemp("", "aceso-churn-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	reg := obs.NewRegistry()
+	p := art.InitParams(g, seed)
+	p.Opt = art.Adam
+	spec := churnSchedule()
+	rep, err := elastic.Supervise(context.Background(), g, cl, cfg, p, x, y, iters, spec,
+		elastic.SuperviseOptions{
+			Options: elastic.Options{
+				LR:              lr,
+				CheckpointEvery: 2,
+				Dir:             dir,
+				SearchBudget:    300 * time.Millisecond,
+				Seed:            seed,
+				Metrics:         reg,
+			},
+			BackoffBase:      100 * time.Microsecond,
+			BackoffCap:       2 * time.Millisecond,
+			SimulateTimeouts: 1, // exercise the backoff policy once
+		})
+	if err != nil {
+		return 0, err
+	}
+
+	out := churnBenchFile{
+		Setting: fmt.Sprintf("MLP(%d layers, dim %d, batch %d), pp2×tp2×dp2 on 8 emulated V100s (2 nodes × 4), %d-event churn schedule, checkpoint every 2, seed %d",
+			layers, dim, batch, len(spec.Events), seed),
+		Iterations:        iters,
+		ScheduledEvents:   len(spec.Events),
+		EventsApplied:     rep.EventsApplied,
+		EventCounts:       rep.EventCounts,
+		FaultsDetected:    rep.FaultsDetected,
+		AvailabilityPct:   100 * rep.Availability(),
+		StepsLost:         rep.StepsLost,
+		Replans:           rep.Replans,
+		ReplansAvoided:    rep.ReplansAvoided,
+		Ladder:            rep.Ladder,
+		Retries:           rep.Retries,
+		Pauses:            rep.Pauses,
+		RecoveryP50Ms:     float64(rep.RecoveryPercentile(0.5).Nanoseconds()) / 1e6,
+		RecoveryP99Ms:     float64(rep.RecoveryPercentile(0.99).Nanoseconds()) / 1e6,
+		Checkpoints:       rep.Checkpoints,
+		Reshards:          rep.Reshards,
+		ReshardBytesMoved: rep.ReshardBytesMoved,
+		FinalCadence:      rep.FinalCadence,
+		FinalDevices:      rep.Config.TotalDevices(),
+		LossDeltaFinal:    math.Abs(refLosses[iters-1] - rep.Losses[iters-1]),
+		MaxParamDiff:      ref.MaxDiff(rep.Params),
+		Metrics:           reg,
+	}
+	if rep.FaultsDetected > 0 {
+		out.StepsLostPerFault = float64(rep.StepsLost) / float64(rep.FaultsDetected)
+	}
+	for _, tr := range rep.Transitions {
+		out.Transitions = append(out.Transitions, fmt.Sprintf("step %d [%s] %s", tr.Step, tr.Kind, tr.Detail))
+	}
+
+	violations := 0
+	if rep.FinalStep != iters || len(rep.Losses) != iters {
+		violations++
+		fmt.Fprintf(w, "churn: run incomplete: final step %d, %d losses, want %d\n",
+			rep.FinalStep, len(rep.Losses), iters)
+	}
+	if out.LossDeltaFinal > elasticTol || out.MaxParamDiff > elasticTol {
+		violations++
+		fmt.Fprintf(w, "churn: trajectory diverged: loss delta %g, param diff %g (tol %g)\n",
+			out.LossDeltaFinal, out.MaxParamDiff, elasticTol)
+	}
+	if rep.ReplansAvoided == 0 {
+		violations++
+		fmt.Fprintf(w, "churn: hysteresis avoided no replans across %d events\n", rep.EventsApplied)
+	}
+	if rep.FaultsDetected == 0 || rep.Retries == 0 {
+		violations++
+		fmt.Fprintf(w, "churn: schedule exercised too little: faults=%d retries=%d\n",
+			rep.FaultsDetected, rep.Retries)
+	}
+	fmt.Fprintf(w, "churn: survived %d events (%d faults) in %d iterations: availability %.1f%%, %d steps lost, %d replans (%d avoided), recovery p50 %.1fms p99 %.1fms\n",
+		rep.EventsApplied, rep.FaultsDetected, iters, out.AvailabilityPct, rep.StepsLost,
+		rep.Replans, rep.ReplansAvoided, out.RecoveryP50Ms, out.RecoveryP99Ms)
+	fmt.Fprintf(w, "churn: final trajectory vs uninterrupted: loss delta %.3g, param diff %.3g (gate %g)\n",
+		out.LossDeltaFinal, out.MaxParamDiff, elasticTol)
+
+	crep := chaos.RunChurn(chaos.Options{
+		Trials: trials,
+		Seed:   seed,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(w, format+"\n", args...)
+		},
+	})
+	fmt.Fprint(w, crep.Summary())
+	out.ChaosTrials = crep.Trials
+	out.ChaosSurvivedRuns = crep.Plans
+	out.ChaosTypedErrs = crep.TypedErrs
+	for _, v := range crep.Violations {
+		out.ChaosViolations = append(out.ChaosViolations,
+			fmt.Sprintf("trial %d seed %d [%s]: %s", v.Trial, v.Seed, v.Kind, v.Detail))
+	}
+	violations += len(crep.Violations)
+
+	f, err := os.Create(outFile)
+	if err != nil {
+		return violations, err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return violations, err
+	}
+	if err := f.Close(); err != nil {
+		return violations, err
+	}
+	fmt.Fprintf(w, "churn: report → %s\n", outFile)
+	return violations, nil
+}
+
 func main() {
 	budget := flag.Duration("budget", 2*time.Second, "per-search time budget (the paper used 200s)")
 	sizes := flag.Int("sizes", 5, "how many of the 5 model sizes to run (1-5)")
@@ -633,6 +870,8 @@ func main() {
 	diffEffectsOn := flag.Bool("diff-effects-on", false, "also run the diff target's effects-on calibration pass")
 	elasticFile := flag.String("elasticfile", "BENCH_elastic.json", "output path for the elastic target's report")
 	elasticTrials := flag.Int("elastic-trials", chaos.DefaultElasticTrials, "randomized chaos trials for the elastic target")
+	churnFile := flag.String("churnfile", "BENCH_churn.json", "output path for the churn target's report")
+	churnTrials := flag.Int("churn-trials", chaos.DefaultChurnTrials, "randomized chaos trials for the churn target")
 	flag.Parse()
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -924,6 +1163,19 @@ func main() {
 		}
 		if violations > 0 {
 			fail("elastic", fmt.Errorf("%d invariant violations", violations))
+		}
+		fmt.Fprintln(w)
+	}
+
+	if want["churn"] { // deliberately not part of "all"
+		fmt.Fprintf(w, "running continuous-churn benchmark (+%d chaos trials, seed %d)...\n",
+			*churnTrials, *seed)
+		violations, err := runChurnBench(*churnFile, *churnTrials, *seed, w)
+		if err != nil {
+			fail("churn", err)
+		}
+		if violations > 0 {
+			fail("churn", fmt.Errorf("%d invariant violations", violations))
 		}
 		fmt.Fprintln(w)
 	}

@@ -160,6 +160,12 @@ func (w *World) deadPeer(peers []int) (int, chan struct{}) {
 	return -1, w.failCh
 }
 
+// testTimeoutFired, when non-nil, runs after a deadline timer fires
+// and before the timeout verdict is decided. Tests use it to land a
+// completion inside that window and pin the completion-beats-timeout
+// re-check below; it is nil outside tests.
+var testTimeoutFired func()
+
 // timeoutC returns a channel that fires at the deadline (nil = never)
 // and the cleanup for its timer.
 func (w *World) timeoutC() (<-chan time.Time, func()) {
@@ -185,6 +191,22 @@ func (w *World) await(done <-chan struct{}, op string, rank int, peers []int) er
 		case <-failCh:
 			// A rank died somewhere; loop to re-check our peers.
 		case <-timeout:
+			if f := testTimeoutFired; f != nil {
+				f()
+			}
+			// Completion (or a known-dead peer) beats the timeout: when
+			// the timer and the success condition are ready at the same
+			// select, a random pick could manufacture a spurious timeout
+			// for a collective that in fact completed — and during a
+			// dead-rank cascade that would kill a stage that succeeded.
+			select {
+			case <-done:
+				return nil
+			default:
+			}
+			if dead, _ := w.deadPeer(peers); dead >= 0 {
+				return &DeadRankError{Op: op, Rank: rank, Dead: dead}
+			}
 			return &CollectiveTimeoutError{Op: op, Rank: rank, Waited: w.deadline}
 		}
 	}
@@ -312,6 +334,18 @@ func (w *World) Send(from, to int, tag string, m *tensor.Mat) error {
 			return nil
 		case <-failCh:
 		case <-timeout:
+			if f := testTimeoutFired; f != nil {
+				f()
+			}
+			// Delivery or a known-dead peer beats the timeout (see await).
+			select {
+			case box <- payload:
+				return nil
+			default:
+			}
+			if dead, _ := w.deadPeer([]int{from, to}); dead >= 0 {
+				return &DeadRankError{Op: "send", Rank: from, Dead: dead}
+			}
 			return &CollectiveTimeoutError{Op: "send", Rank: from, Waited: w.deadline}
 		}
 	}
@@ -347,6 +381,19 @@ func (w *World) Recv(from, to int, tag string) (*tensor.Mat, error) {
 			return m, nil
 		case <-failCh:
 		case <-timeout:
+			if f := testTimeoutFired; f != nil {
+				f()
+			}
+			// An already-buffered message or a known-dead sender beats the
+			// timeout (see await); in-flight traffic is never lost.
+			select {
+			case m := <-box:
+				return m, nil
+			default:
+			}
+			if dead, _ := w.deadPeer([]int{from}); dead >= 0 {
+				return nil, &DeadRankError{Op: "recv", Rank: to, Dead: dead}
+			}
 			return nil, &CollectiveTimeoutError{Op: "recv", Rank: to, Waited: w.deadline}
 		}
 	}

@@ -1,0 +1,215 @@
+package comm
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"aceso/internal/tensor"
+)
+
+// These tests pin the race between the per-op deadline timer and
+// operation completion: a success condition that is established by the
+// time the timeout verdict is decided must win. Before the re-check in
+// the timeout branches, a timer and a completion ready at the same
+// select were picked between at random, so an operation that in fact
+// completed could surface a spurious *CollectiveTimeoutError — and
+// during a dead-rank cascade that spuriously killed a stage that had
+// succeeded.
+//
+// The race window is nondeterministic, so the tests drive it through
+// the testTimeoutFired hook: the waiter blocks after its timer fires,
+// the test lands the completion (or the death) inside that window, and
+// the released waiter must honor it. Removing the re-check makes every
+// test here fail deterministically.
+
+// gateTimeout installs a hook that, the first time a deadline timer
+// fires, reports it on `fired` and blocks until `resume` closes.
+// The caller must start the waiter after gateTimeout (so the write to
+// testTimeoutFired happens-before the read) and call the returned
+// cleanup after the waiter finished.
+func gateTimeout(fired chan<- struct{}, resume <-chan struct{}) func() {
+	first := true
+	testTimeoutFired = func() {
+		if first {
+			first = false
+			fired <- struct{}{}
+			<-resume
+		}
+	}
+	return func() { testTimeoutFired = nil }
+}
+
+func TestAwaitTimeoutDoesNotMaskCompletion(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetDeadline(time.Millisecond)
+	fired := make(chan struct{})
+	resume := make(chan struct{})
+	defer gateTimeout(fired, resume)()
+	done := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() { errCh <- w.await(done, "all-reduce", 0, []int{0, 1}) }()
+	<-fired     // the waiter's deadline has expired; verdict pending
+	close(done) // completion lands inside the window
+	close(resume)
+	if err := <-errCh; err != nil {
+		t.Fatalf("await returned %v for a collective completed before the timeout verdict", err)
+	}
+}
+
+func TestAwaitTimeoutPrefersDeadRank(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetDeadline(time.Millisecond)
+	fired := make(chan struct{})
+	resume := make(chan struct{})
+	defer gateTimeout(fired, resume)()
+	done := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() { errCh <- w.await(done, "all-reduce", 0, []int{0, 1}) }()
+	<-fired
+	w.Fail(1) // the cascade names the culprit while the verdict is pending
+	close(resume)
+	var de *DeadRankError
+	if err := <-errCh; !errors.As(err, &de) {
+		t.Fatalf("await returned %v, want *DeadRankError for a peer known dead at the verdict", err)
+	} else if de.Dead != 1 {
+		t.Fatalf("wrong culprit %d, want 1", de.Dead)
+	}
+}
+
+func TestRecvTimeoutDoesNotMaskDelivery(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetDeadline(time.Millisecond)
+	fired := make(chan struct{})
+	resume := make(chan struct{})
+	defer gateTimeout(fired, resume)()
+	type res struct {
+		m   *tensor.Mat
+		err error
+	}
+	resCh := make(chan res, 1)
+	go func() {
+		m, err := w.Recv(0, 1, "t")
+		resCh <- res{m, err}
+	}()
+	<-fired
+	m := tensor.New(1, 1)
+	m.Data[0] = 42
+	if err := w.Send(0, 1, "t", m); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	close(resume)
+	r := <-resCh
+	if r.err != nil {
+		t.Fatalf("Recv returned %v for a message buffered before the timeout verdict", r.err)
+	}
+	if r.m.Data[0] != 42 {
+		t.Fatalf("wrong payload %v", r.m.Data[0])
+	}
+}
+
+func TestSendTimeoutDoesNotMaskDelivery(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetDeadline(time.Millisecond)
+	// Fill the mailbox so Send blocks.
+	filler := tensor.New(1, 1)
+	for i := 0; ; i++ {
+		if err := w.Send(0, 1, "t", filler); err != nil {
+			var te *CollectiveTimeoutError
+			if !errors.As(err, &te) {
+				t.Fatalf("filling mailbox: %v", err)
+			}
+			break
+		}
+		if i > 1<<20 {
+			t.Fatal("mailbox never filled")
+		}
+	}
+	fired := make(chan struct{})
+	resume := make(chan struct{})
+	defer gateTimeout(fired, resume)()
+	m := tensor.New(1, 1)
+	errCh := make(chan error, 1)
+	go func() { errCh <- w.Send(0, 1, "t", m) }()
+	<-fired
+	if _, err := w.Recv(0, 1, "t"); err != nil { // free one slot in the window
+		t.Fatalf("recv: %v", err)
+	}
+	close(resume)
+	if err := <-errCh; err != nil {
+		t.Fatalf("Send returned %v though a mailbox slot freed before the timeout verdict", err)
+	}
+}
+
+// TestDeadlineDuringCascadeUnblocksPipeline drives the scenario from
+// the elastic runtime: a 4-rank receive chain with a per-op deadline
+// in force, where a middle rank dies and the failure broadcast races
+// the deadline timers. Every operation must return a typed error well
+// before the test's own watchdog — the deadline firing during the
+// cascade must not leave anyone blocked — and a peer known dead must
+// be reported as dead even if the mailbox still holds traffic.
+func TestDeadlineDuringCascadeUnblocksPipeline(t *testing.T) {
+	const deadline = 50 * time.Millisecond
+	w, err := NewWorld(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetDeadline(deadline)
+	errsCh := make(chan error, 3)
+	// Ranks 1..3 each wait for a message from their predecessor; rank 0
+	// never sends, and rank 1 is failed while everyone blocks.
+	for r := 1; r < 4; r++ {
+		r := r
+		go func() {
+			_, err := w.Recv(r-1, r, "fwd")
+			errsCh <- err
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	w.Fail(1)
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-errsCh:
+			if err == nil {
+				t.Fatal("Recv with no sender returned nil")
+			}
+			var de *DeadRankError
+			var te *CollectiveTimeoutError
+			if !errors.As(err, &de) && !errors.As(err, &te) {
+				t.Fatalf("untyped error from blocked Recv: %v", err)
+			}
+		case <-time.After(10 * deadline):
+			t.Fatal("pipeline still blocked long after deadline + cascade")
+		}
+	}
+	// A fresh Recv involving the dead rank fails immediately and names it.
+	var de *DeadRankError
+	if _, err := w.Recv(1, 2, "fwd"); !errors.As(err, &de) {
+		t.Fatalf("Recv from dead sender: got %v, want *DeadRankError", err)
+	}
+	// In-flight traffic from a rank that dies afterwards is not lost:
+	// the buffered message still delivers, and only then does death win.
+	m := tensor.New(1, 1)
+	if err := w.Send(3, 2, "back", m); err != nil {
+		t.Fatalf("send to live rank: %v", err)
+	}
+	w.Fail(3)
+	if _, err := w.Recv(3, 2, "back"); err != nil {
+		t.Fatalf("buffered message from dead sender must still deliver: %v", err)
+	}
+	if _, err := w.Recv(3, 2, "back"); !errors.As(err, &de) {
+		t.Fatalf("drained mailbox of dead sender: got %v, want *DeadRankError", err)
+	}
+}

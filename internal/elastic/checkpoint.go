@@ -304,9 +304,14 @@ func (d *decoder) tensorShard() (TensorShard, error) {
 }
 
 // Save atomically writes the state to path: encode, write to a unique
-// temp file in the same directory, fsync, rename. A crash mid-save
-// leaves either the old checkpoint or the new one — never a torn file
-// (and a torn rename target would still be caught by the checksum).
+// temp file in the same directory, fsync the file, rename, fsync the
+// parent directory. A crash mid-save leaves either the old checkpoint
+// or the new one — never a torn file (and a torn rename target would
+// still be caught by the checksum). The directory fsync is what makes
+// the rename itself durable: without it a power cut can roll the
+// directory entry back to the old checkpoint even though Save
+// returned. A crash between write and rename leaves an orphaned
+// `.ckpt-*` temp file behind; SweepTemps clears those on startup.
 func Save(path string, st *State) error {
 	data := Encode(st)
 	dir := filepath.Dir(path)
@@ -334,7 +339,40 @@ func Save(path string, st *State) error {
 		os.Remove(tmp)
 		return fmt.Errorf("elastic: save checkpoint: %w", err)
 	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("elastic: save checkpoint: %w", err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// SweepTemps removes orphaned checkpoint temp files left in dir by a
+// crash between Save's write and rename. It returns how many were
+// removed. Call it before training starts (Train and Supervise do) —
+// it must not run concurrently with an in-flight Save in the same
+// directory, or it could unlink a temp file about to be renamed.
+func SweepTemps(dir string) (int, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, ".ckpt-*"))
+	if err != nil {
+		return 0, fmt.Errorf("elastic: sweep temps: %w", err)
+	}
+	removed := 0
+	for _, m := range matches {
+		if err := os.Remove(m); err != nil {
+			return removed, fmt.Errorf("elastic: sweep temps: %w", err)
+		}
+		removed++
+	}
+	return removed, nil
 }
 
 // Load reads and decodes a checkpoint file. All failure modes —

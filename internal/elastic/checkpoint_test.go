@@ -197,3 +197,83 @@ func TestAssembleRejectsGapsAndOverlaps(t *testing.T) {
 		t.Fatal("assembly with duplicated shards succeeded")
 	}
 }
+
+// TestCrashBetweenWriteAndRenameLeavesLineageIntact simulates Save
+// dying after its temp file was fully written and fsynced but before
+// the rename: the prior checkpoint must still load (atomicity), and
+// SweepTemps must clear exactly the orphaned temp on startup.
+func TestCrashBetweenWriteAndRenameLeavesLineageIntact(t *testing.T) {
+	g := buildMLP(t)
+	cfg := uniformCfg(t, g, 1, 4, 2, 2, 4)
+	st, p := trainedState(t, g, cfg)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "aceso.ckpt")
+	if err := Save(path, st); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay Save's steps up to (not including) the rename — the crash
+	// point. The orphan is a fully-written, checksummed payload of a
+	// *newer* state that never became the checkpoint.
+	newer := &State{Step: st.Step + 1, Seed: st.Seed, Opt: st.Opt, Ranks: st.Ranks}
+	f, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(Encode(newer)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A second, torn orphan from an even earlier crash mid-write.
+	torn := filepath.Join(dir, ".ckpt-torn")
+	if err := os.WriteFile(torn, Encode(newer)[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The committed checkpoint is untouched by the crashed attempt.
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("checkpoint unreadable after crashed save attempt: %v", err)
+	}
+	if got.Step != st.Step {
+		t.Fatalf("loaded step %d, want %d (the orphan must not be visible)", got.Step, st.Step)
+	}
+
+	removed, err := SweepTemps(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Fatalf("SweepTemps removed %d files, want 2", removed)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "aceso.ckpt" {
+		t.Fatalf("dir not clean after sweep: %v", entries)
+	}
+	// Lineage continues: the next Save + Load round-trips bitwise.
+	if err := Save(path, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := AssembleState(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := p.MaxDiff(q); d != 0 {
+		t.Fatalf("post-sweep lineage differs by %g", d)
+	}
+	if _, err := SweepTemps(dir); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,530 @@
+package elastic
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"aceso/internal/comm"
+	"aceso/internal/hardware"
+	"aceso/internal/obs"
+	"aceso/internal/runtime"
+)
+
+// superviseOpts returns fast-test defaults: file round trip, tiny
+// backoff, short search budget.
+func superviseOpts(t *testing.T) SuperviseOptions {
+	t.Helper()
+	return SuperviseOptions{
+		Options: Options{
+			LR:              lr,
+			CheckpointEvery: 2,
+			Dir:             t.TempDir(),
+			CommDeadline:    10 * time.Second,
+			SearchBudget:    300 * time.Millisecond,
+		},
+		BackoffBase: time.Microsecond,
+		BackoffCap:  8 * time.Microsecond,
+	}
+}
+
+// refRun trains the uninterrupted reference trajectory.
+func refRun(t *testing.T, iters int) ([]float64, *runtime.Params) {
+	t.Helper()
+	g := buildMLP(t)
+	cfg := uniformCfg(t, g, 2, 2, 2, 1, 4)
+	x, y := trainData(42)
+	p := runtime.InitParams(g, 7)
+	p.Opt = runtime.Adam
+	losses, err := runtime.Parallel(g, cfg, p, x, y, lr, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return losses, p
+}
+
+func checkMonotone(t *testing.T, steps []int) {
+	t.Helper()
+	for i := 1; i < len(steps); i++ {
+		if steps[i] <= steps[i-1] {
+			t.Fatalf("step counter not monotone: %v", steps)
+		}
+	}
+}
+
+func hasTransition(rep *ChurnReport, kind TransitionKind) bool {
+	for _, tr := range rep.Transitions {
+		if tr.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSuperviseNoEventsMatchesPlainRun: with an empty schedule the
+// supervisor is segmented training — bitwise identical to one Parallel
+// call, at 100% availability.
+func TestSuperviseNoEventsMatchesPlainRun(t *testing.T) {
+	const iters = 5
+	refLosses, ref := refRun(t, iters)
+
+	g := buildMLP(t)
+	cfg := uniformCfg(t, g, 2, 2, 2, 1, 4)
+	cl := hardware.DGX1V100(1).Restrict(4)
+	x, y := trainData(42)
+	p := runtime.InitParams(g, 7)
+	p.Opt = runtime.Adam
+
+	rep, err := Supervise(context.Background(), g, cl, cfg, p, x, y, iters, ChurnSpec{}, superviseOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Losses) != iters || rep.FinalStep != iters {
+		t.Fatalf("losses %d, final step %d; want %d", len(rep.Losses), rep.FinalStep, iters)
+	}
+	for i := range refLosses {
+		if rep.Losses[i] != refLosses[i] {
+			t.Errorf("iter %d: loss %g != reference %g", i, rep.Losses[i], refLosses[i])
+		}
+	}
+	if d := ref.MaxDiff(rep.Params); d != 0 {
+		t.Errorf("final state differs by %g, want bitwise match", d)
+	}
+	if a := rep.Availability(); a != 1 {
+		t.Errorf("availability %v, want 1", a)
+	}
+	if rep.Replans != 0 || rep.Reshards != 0 || rep.FaultsDetected != 0 {
+		t.Errorf("idle schedule caused work: %+v", rep)
+	}
+	checkMonotone(t, rep.Steps)
+}
+
+// TestSupervisePreemptReaddEndToEnd is the churn acceptance core: an
+// in-plan preemption mid-run, recovery down the ladder, a later
+// re-addition — and the final trajectory still matches the
+// uninterrupted run to float tolerance.
+func TestSupervisePreemptReaddEndToEnd(t *testing.T) {
+	const iters = 8
+	refLosses, ref := refRun(t, iters)
+
+	g := buildMLP(t)
+	cfg := uniformCfg(t, g, 2, 2, 2, 1, 4)
+	cl := hardware.DGX1V100(1).Restrict(4)
+	x, y := trainData(42)
+	p := runtime.InitParams(g, 7)
+	p.Opt = runtime.Adam
+
+	reg := obs.NewRegistry()
+	opt := superviseOpts(t)
+	opt.Metrics = reg
+	spec := ChurnSpec{Events: []ChurnEvent{
+		{Iteration: 3, Kind: Preempt, Device: 2},
+		{Iteration: 6, Kind: Readd, Device: 2},
+	}}
+	rep, err := Supervise(context.Background(), g, cl, cfg, p, x, y, iters, spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FaultsDetected != 1 {
+		t.Fatalf("faults detected %d, want 1", rep.FaultsDetected)
+	}
+	if rep.EventsApplied != 2 || rep.EventCounts["preempt"] != 1 || rep.EventCounts["readd"] != 1 {
+		t.Fatalf("events applied %d (%v), want preempt+readd", rep.EventsApplied, rep.EventCounts)
+	}
+	if rep.Reshards == 0 {
+		t.Error("no reshard recorded for a recovery that changed the plan")
+	}
+	if len(rep.Recoveries) == 0 {
+		t.Error("no recovery duration recorded")
+	}
+	if len(rep.Losses) != iters || rep.FinalStep != iters {
+		t.Fatalf("losses %d, final step %d; want %d", len(rep.Losses), rep.FinalStep, iters)
+	}
+	for i := range refLosses {
+		if math.Abs(rep.Losses[i]-refLosses[i]) > tol {
+			t.Errorf("iter %d: loss %.12f vs reference %.12f", i, rep.Losses[i], refLosses[i])
+		}
+	}
+	if d := ref.MaxDiff(rep.Params); d > tol {
+		t.Errorf("final state differs by %g from uninterrupted run", d)
+	}
+	checkMonotone(t, rep.Steps)
+	if !hasTransition(rep, TransFault) || !hasTransition(rep, TransResume) {
+		t.Errorf("transition log missing fault/resume: %+v", rep.Transitions)
+	}
+	if rep.StepsLost == 0 || rep.Availability() >= 1 {
+		t.Errorf("mid-segment fault should lose work: lost %d, availability %v",
+			rep.StepsLost, rep.Availability())
+	}
+	for _, name := range []string{
+		obs.ChurnFaultsTotal, obs.ChurnStepsLostTotal, obs.ChurnTransitionsTotal + `{kind="fault"}`,
+		obs.ChurnEventsTotal + `{kind="preempt"}`, obs.ChurnEventsTotal + `{kind="readd"}`,
+	} {
+		if reg.Counter(name).Value() == 0 {
+			t.Errorf("metric %s = 0, want > 0", name)
+		}
+	}
+	if reg.Timer(obs.ChurnRecovery).Count() == 0 {
+		t.Error("churn recovery timer has no observations")
+	}
+}
+
+// TestSuperviseHysteresisDefersMildBlips: a transient derate below the
+// replan threshold is debounced — no search, no reshard, and because
+// the plan never changed the run stays bitwise identical.
+func TestSuperviseHysteresisDefersMildBlips(t *testing.T) {
+	const iters = 6
+	refLosses, ref := refRun(t, iters)
+
+	g := buildMLP(t)
+	cfg := uniformCfg(t, g, 2, 2, 2, 1, 4)
+	cl := hardware.DGX1V100(1).Restrict(4)
+	x, y := trainData(42)
+	p := runtime.InitParams(g, 7)
+	p.Opt = runtime.Adam
+
+	opt := superviseOpts(t)
+	opt.ReplanThreshold = 0.95 // nothing short of a collapse triggers
+	spec := ChurnSpec{Events: []ChurnEvent{
+		{Iteration: 1, Kind: SlowNode, Device: 0, Scale: 0.9},
+		{Iteration: 4, Kind: SlowNode, Device: 0, Scale: 1},
+	}}
+	rep, err := Supervise(context.Background(), g, cl, cfg, p, x, y, iters, spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ReplansAvoided == 0 {
+		t.Error("hysteresis avoided no replans")
+	}
+	if rep.Replans != 0 || rep.Reshards != 0 {
+		t.Errorf("mild blip caused %d replans, %d reshards; want 0", rep.Replans, rep.Reshards)
+	}
+	if !hasTransition(rep, TransReplanDeferred) {
+		t.Errorf("no replan-deferred transition: %+v", rep.Transitions)
+	}
+	for i := range refLosses {
+		if rep.Losses[i] != refLosses[i] {
+			t.Errorf("iter %d: loss %g != reference %g (plan should not have changed)", i, rep.Losses[i], refLosses[i])
+		}
+	}
+	if d := ref.MaxDiff(rep.Params); d != 0 {
+		t.Errorf("final state differs by %g, want bitwise (no reconfiguration happened)", d)
+	}
+}
+
+// TestSuperviseForcedReplanOnHarshDegradation: a derate whose projected
+// slowdown clears the threshold forces an immediate replan decision.
+func TestSuperviseForcedReplanOnHarshDegradation(t *testing.T) {
+	const iters = 6
+	refLosses, ref := refRun(t, iters)
+
+	g := buildMLP(t)
+	cfg := uniformCfg(t, g, 2, 2, 2, 1, 4)
+	cl := hardware.DGX1V100(1).Restrict(4)
+	x, y := trainData(42)
+	p := runtime.InitParams(g, 7)
+	p.Opt = runtime.Adam
+
+	opt := superviseOpts(t)
+	opt.ReplanThreshold = 0.15
+	spec := ChurnSpec{Events: []ChurnEvent{
+		{Iteration: 2, Kind: SlowNode, Device: 0, Scale: 0.05},
+	}}
+	rep, err := Supervise(context.Background(), g, cl, cfg, p, x, y, iters, spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasTransition(rep, TransReplanForced) {
+		t.Fatalf("no replan-forced transition: %+v", rep.Transitions)
+	}
+	if rep.Replans == 0 {
+		t.Error("forced replan ran no search")
+	}
+	// Whatever plan the search picked, semantics are preserved.
+	for i := range refLosses {
+		if math.Abs(rep.Losses[i]-refLosses[i]) > tol {
+			t.Errorf("iter %d: loss %.12f vs reference %.12f", i, rep.Losses[i], refLosses[i])
+		}
+	}
+	if d := ref.MaxDiff(rep.Params); d > tol {
+		t.Errorf("final state differs by %g from uninterrupted run", d)
+	}
+}
+
+// TestSupervisePersistenceForcesReplan: each blip is individually below
+// threshold, but HysteresisEvents consecutive deferrals escalate.
+func TestSupervisePersistenceForcesReplan(t *testing.T) {
+	const iters = 8
+	g := buildMLP(t)
+	cfg := uniformCfg(t, g, 2, 2, 2, 1, 4)
+	cl := hardware.DGX1V100(1).Restrict(4)
+	x, y := trainData(42)
+	p := runtime.InitParams(g, 7)
+	p.Opt = runtime.Adam
+
+	opt := superviseOpts(t)
+	opt.ReplanThreshold = 0.95
+	opt.HysteresisEvents = 2
+	spec := ChurnSpec{Events: []ChurnEvent{
+		{Iteration: 1, Kind: SlowNode, Device: 0, Scale: 0.9},
+		// Device 2 lives on the other pipeline stage, so the second blip
+		// degrades a fresh bottleneck rather than hiding behind the first.
+		{Iteration: 3, Kind: SlowNode, Device: 2, Scale: 0.9},
+	}}
+	rep, err := Supervise(context.Background(), g, cl, cfg, p, x, y, iters, spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasTransition(rep, TransReplanDeferred) {
+		t.Errorf("first blip was not deferred: %+v", rep.Transitions)
+	}
+	if !hasTransition(rep, TransReplanForced) {
+		t.Errorf("persistent degradation never escalated: %+v", rep.Transitions)
+	}
+	if rep.ReplansAvoided != 1 {
+		t.Errorf("replans avoided %d, want exactly 1 (second blip escalates)", rep.ReplansAvoided)
+	}
+}
+
+// TestSuperviseBackoffRetries: transient timeouts are retried with
+// backoff and checkpoint restore; the run still completes exactly.
+func TestSuperviseBackoffRetries(t *testing.T) {
+	const iters = 4
+	refLosses, ref := refRun(t, iters)
+
+	g := buildMLP(t)
+	cfg := uniformCfg(t, g, 2, 2, 2, 1, 4)
+	cl := hardware.DGX1V100(1).Restrict(4)
+	x, y := trainData(42)
+	p := runtime.InitParams(g, 7)
+	p.Opt = runtime.Adam
+
+	opt := superviseOpts(t)
+	opt.SimulateTimeouts = 2
+	opt.MaxRetries = 3
+	rep, err := Supervise(context.Background(), g, cl, cfg, p, x, y, iters, ChurnSpec{}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retries != 2 {
+		t.Errorf("retries %d, want 2", rep.Retries)
+	}
+	if !hasTransition(rep, TransBackoffRetry) {
+		t.Errorf("no backoff-retry transition: %+v", rep.Transitions)
+	}
+	for i := range refLosses {
+		if math.Abs(rep.Losses[i]-refLosses[i]) > tol {
+			t.Errorf("iter %d: loss %.12f vs reference %.12f", i, rep.Losses[i], refLosses[i])
+		}
+	}
+	if d := ref.MaxDiff(rep.Params); d > tol {
+		t.Errorf("final state differs by %g from uninterrupted run", d)
+	}
+}
+
+// TestSuperviseBackoffExhausted: more consecutive timeouts than
+// MaxRetries surfaces the typed timeout error.
+func TestSuperviseBackoffExhausted(t *testing.T) {
+	g := buildMLP(t)
+	cfg := uniformCfg(t, g, 2, 2, 2, 1, 4)
+	cl := hardware.DGX1V100(1).Restrict(4)
+	x, y := trainData(42)
+	p := runtime.InitParams(g, 7)
+	p.Opt = runtime.Adam
+
+	opt := superviseOpts(t)
+	opt.SimulateTimeouts = 5
+	opt.MaxRetries = 2
+	_, err := Supervise(context.Background(), g, cl, cfg, p, x, y, 4, ChurnSpec{}, opt)
+	var te *comm.CollectiveTimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %v, want wrapped *comm.CollectiveTimeoutError", err)
+	}
+}
+
+// TestSupervisePauseAndResume: losing every device parks the run on its
+// last checkpoint until the schedule re-adds capacity.
+func TestSupervisePauseAndResume(t *testing.T) {
+	const iters = 6
+	g := buildMLP(t)
+	cfg := uniformCfg(t, g, 2, 1, 1, 1, 4) // pp2 on 2 devices
+	cl := hardware.DGX1V100(1).Restrict(2)
+	x, y := trainData(42)
+
+	ref := runtime.InitParams(g, 7)
+	ref.Opt = runtime.Adam
+	refLosses, err := runtime.Parallel(g, cfg, ref, x, y, lr, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := runtime.InitParams(g, 7)
+	p.Opt = runtime.Adam
+	spec := ChurnSpec{Events: []ChurnEvent{
+		{Iteration: 2, Kind: Preempt, Device: 0},
+		{Iteration: 2, Kind: Preempt, Device: 1},
+		{Iteration: 4, Kind: Readd, Device: 0},
+		{Iteration: 5, Kind: Readd, Device: 1},
+	}}
+	rep, err := Supervise(context.Background(), g, cl, cfg, p, x, y, iters, spec, superviseOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pauses == 0 {
+		t.Errorf("losing all devices did not pause: %+v", rep.Transitions)
+	}
+	if !hasTransition(rep, TransLadderPause) || !hasTransition(rep, TransResume) {
+		t.Errorf("transition log missing pause/resume: %+v", rep.Transitions)
+	}
+	if len(rep.Losses) != iters || rep.FinalStep != iters {
+		t.Fatalf("losses %d, final step %d; want %d", len(rep.Losses), rep.FinalStep, iters)
+	}
+	for i := range refLosses {
+		if math.Abs(rep.Losses[i]-refLosses[i]) > tol {
+			t.Errorf("iter %d: loss %.12f vs reference %.12f", i, rep.Losses[i], refLosses[i])
+		}
+	}
+	if d := ref.MaxDiff(rep.Params); d > tol {
+		t.Errorf("final state differs by %g from uninterrupted run", d)
+	}
+	checkMonotone(t, rep.Steps)
+}
+
+// TestSuperviseStallsWithoutCapacity: all devices gone and no
+// re-addition left — a typed StalledError, not a hang.
+func TestSuperviseStallsWithoutCapacity(t *testing.T) {
+	g := buildMLP(t)
+	cfg := uniformCfg(t, g, 2, 1, 1, 1, 4)
+	cl := hardware.DGX1V100(1).Restrict(2)
+	x, y := trainData(42)
+	p := runtime.InitParams(g, 7)
+	p.Opt = runtime.Adam
+
+	spec := ChurnSpec{Events: []ChurnEvent{
+		{Iteration: 1, Kind: Preempt, Device: 0},
+		{Iteration: 1, Kind: Preempt, Device: 1},
+	}}
+	_, err := Supervise(context.Background(), g, cl, cfg, p, x, y, 4, spec, superviseOpts(t))
+	var stalled *StalledError
+	if !errors.As(err, &stalled) {
+		t.Fatalf("error %v, want *StalledError", err)
+	}
+	if stalled.Alive != 0 {
+		t.Errorf("stalled with %d alive, want 0", stalled.Alive)
+	}
+}
+
+// TestSuperviseAdaptiveCadence: frequent faults pull the checkpoint
+// cadence down toward the observed inter-fault interval.
+func TestSuperviseAdaptiveCadence(t *testing.T) {
+	const iters = 8
+	g := buildMLP(t)
+	cfg := uniformCfg(t, g, 2, 2, 2, 1, 4)
+	cl := hardware.DGX1V100(1).Restrict(4)
+	x, y := trainData(42)
+	p := runtime.InitParams(g, 7)
+	p.Opt = runtime.Adam
+
+	opt := superviseOpts(t)
+	opt.CheckpointEvery = 4
+	opt.MaxCadence = 4
+	spec := ChurnSpec{Events: []ChurnEvent{
+		{Iteration: 1, Kind: Preempt, Device: 3},
+		{Iteration: 3, Kind: Preempt, Device: 2},
+	}}
+	rep, err := Supervise(context.Background(), g, cl, cfg, p, x, y, iters, spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FaultsDetected != 2 {
+		t.Fatalf("faults detected %d, want 2", rep.FaultsDetected)
+	}
+	if rep.FinalCadence >= 4 {
+		t.Errorf("final cadence %d, want < 4 after back-to-back faults", rep.FinalCadence)
+	}
+	if !hasTransition(rep, TransCadence) {
+		t.Errorf("no cadence transition: %+v", rep.Transitions)
+	}
+}
+
+// TestChurnSpecValidate rejects hostile schedules with typed errors.
+func TestChurnSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   ChurnEvent
+		ok   bool
+	}{
+		{"valid-preempt", ChurnEvent{Iteration: 0, Kind: Preempt, Device: 1}, true},
+		{"valid-slow", ChurnEvent{Iteration: 3, Kind: SlowNode, Device: 0, Scale: 0.5}, true},
+		{"valid-link", ChurnEvent{Iteration: 2, Kind: LinkDerate, Scale: 0.7}, true},
+		{"negative-iteration", ChurnEvent{Iteration: -1, Kind: Preempt, Device: 0}, false},
+		{"unknown-kind", ChurnEvent{Iteration: 0, Kind: ChurnKind(99), Device: 0}, false},
+		{"device-low", ChurnEvent{Iteration: 0, Kind: Preempt, Device: -1}, false},
+		{"device-high", ChurnEvent{Iteration: 0, Kind: Readd, Device: 4}, false},
+		{"scale-zero", ChurnEvent{Iteration: 0, Kind: SlowNode, Device: 0, Scale: 0}, false},
+		{"scale-high", ChurnEvent{Iteration: 0, Kind: LinkDerate, Scale: 1.5}, false},
+		{"scale-nan", ChurnEvent{Iteration: 0, Kind: SlowNode, Device: 0, Scale: math.NaN()}, false},
+	}
+	for _, tc := range cases {
+		spec := ChurnSpec{Events: []ChurnEvent{tc.ev}}
+		err := spec.Validate(4)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: validation passed, want error", tc.name)
+		}
+	}
+
+	g := buildMLP(t)
+	cfg := uniformCfg(t, g, 2, 2, 2, 1, 4)
+	x, y := trainData(42)
+	p := runtime.InitParams(g, 7)
+	p.Opt = runtime.Adam
+
+	// Supervise refuses an invalid schedule and a pre-degraded cluster.
+	cl := hardware.DGX1V100(1).Restrict(4)
+	bad := ChurnSpec{Events: []ChurnEvent{{Iteration: -1, Kind: Preempt}}}
+	if _, err := Supervise(context.Background(), g, cl, cfg, p, x, y, 2, bad, superviseOpts(t)); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	degraded, err := cl.Degrade(hardware.FaultSpec{Devices: []hardware.DeviceFault{{Device: 3, Dead: true}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Supervise(context.Background(), g, degraded, cfg, p, x, y, 2, ChurnSpec{}, superviseOpts(t)); err == nil {
+		t.Error("degraded input cluster accepted")
+	}
+}
+
+// TestChurnKindString covers the label mapping the metrics depend on.
+func TestChurnKindString(t *testing.T) {
+	want := map[ChurnKind]string{
+		Preempt: "preempt", Readd: "readd", SlowNode: "slow-node", LinkDerate: "link-derate",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if ChurnKind(200).String() == "" {
+		t.Error("unknown kind has empty string")
+	}
+}
+
+// TestRecoveryPercentile checks the quantile helper on known data.
+func TestRecoveryPercentile(t *testing.T) {
+	rep := &ChurnReport{}
+	if rep.RecoveryPercentile(0.5) != 0 {
+		t.Error("empty recoveries should yield 0")
+	}
+	rep.Recoveries = []time.Duration{4 * time.Millisecond, 1 * time.Millisecond, 3 * time.Millisecond, 2 * time.Millisecond}
+	if got := rep.RecoveryPercentile(0.5); got != 2*time.Millisecond {
+		t.Errorf("p50 = %v, want 2ms", got)
+	}
+	if got := rep.RecoveryPercentile(0.99); got != 4*time.Millisecond {
+		t.Errorf("p99 = %v, want 4ms", got)
+	}
+}

@@ -161,6 +161,14 @@ func Train(ctx context.Context, g *model.Graph, cl hardware.Cluster, cfg *config
 	rep := &Report{Params: p, Config: cfg}
 	stepZero := p.Step
 
+	// Clear temp files orphaned by a crash mid-Save before the lineage
+	// starts growing again.
+	if opt.Dir != "" {
+		if _, err := SweepTemps(opt.Dir); err != nil {
+			return nil, err
+		}
+	}
+
 	// ckpt is the most recent durable state; take one before the first
 	// iteration so even an iteration-0 fault has something to restore.
 	ckpt, err := ShardState(g, cfg, p)

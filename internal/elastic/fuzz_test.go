@@ -1,11 +1,16 @@
 package elastic
 
 import (
+	"context"
+	"math"
 	"testing"
+	"time"
 
 	"aceso/internal/config"
+	"aceso/internal/hardware"
 	"aceso/internal/model"
 	"aceso/internal/runtime"
+	"aceso/internal/tensor"
 )
 
 // FuzzCheckpointLoadNeverPanics pins the decoder's robustness contract:
@@ -57,5 +62,89 @@ func FuzzCheckpointLoadNeverPanics(f *testing.F) {
 			t.Fatalf("re-encode of decoded state does not decode: %v", err)
 		}
 		_, _ = AssembleState(st)
+	})
+}
+
+// FuzzChurnEventsNeverPanic pins the supervisor's robustness contract:
+// an arbitrary byte-derived churn schedule — out-of-range devices,
+// NaN/Inf scales, unknown kinds, hostile orderings — either validates
+// and runs to a report, or comes back as a typed error. Never a panic,
+// never a hang: the supervisor is the component that must outlive the
+// faults it manages.
+func FuzzChurnEventsNeverPanic(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0})                          // one preempt of device 0 at iteration 0
+	f.Add([]byte{0, 0, 1, 0, 0, 1, 1, 0, 0, 0})           // preempt then readd
+	f.Add([]byte{0, 2, 0, 200, 0, 1, 3, 0, 255, 0})       // slow-node + link derate variants
+	f.Add([]byte{5, 17, 99, 254, 7, 3, 3, 3, 3, 3, 3, 3}) // out-of-range everything
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := model.MLP(2, 4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := config.Balanced(g, 2, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := hardware.DGX1V100(1).Restrict(2)
+
+		// Decode 5 bytes per event, mapping select byte values onto the
+		// hostile corners of the domain (negative iterations, NaN/Inf
+		// scales) that plain byte arithmetic cannot reach.
+		var spec ChurnSpec
+		for i := 0; i+5 <= len(data) && len(spec.Events) < 16; i += 5 {
+			iter := int(data[i]) % 8
+			if data[i] == 255 {
+				iter = -1
+			}
+			scale := float64(data[i+3]) / 255
+			switch data[i+4] {
+			case 250:
+				scale = math.NaN()
+			case 251:
+				scale = math.Inf(1)
+			case 252:
+				scale = -0.5
+			case 253:
+				scale = 1
+			}
+			spec.Events = append(spec.Events, ChurnEvent{
+				Iteration: iter,
+				Kind:      ChurnKind(data[i+1] % 6), // includes invalid kinds
+				Device:    int(data[i+2])%4 - 1,     // includes -1 and out-of-range
+				Scale:     scale,
+			})
+		}
+
+		p := runtime.InitParams(g, 1)
+		p.Opt = runtime.Adam
+		x := tensor.New(4, 4)
+		y := tensor.New(4, 4)
+		for i := range x.Data {
+			x.Data[i] = float64(i%7) * 0.1
+			y.Data[i] = float64(i%5) * 0.1
+		}
+		opt := SuperviseOptions{
+			Options: Options{
+				LR:           0.05,
+				CommDeadline: 5 * time.Second,
+				SearchBudget: 10 * time.Millisecond,
+			},
+			BackoffBase: time.Microsecond,
+			BackoffCap:  2 * time.Microsecond,
+		}
+		rep, err := Supervise(context.Background(), g, cl, cfg, p, x, y, 2, spec, opt)
+		if err != nil {
+			return // typed rejection (invalid spec, stall, ...) is fine
+		}
+		if rep == nil || rep.FinalStep < 0 {
+			t.Fatalf("nil/absurd report without error: %+v", rep)
+		}
+		for _, l := range rep.Losses {
+			if math.IsNaN(l) || math.IsInf(l, 0) {
+				t.Fatalf("non-finite loss %v in report", l)
+			}
+		}
 	})
 }

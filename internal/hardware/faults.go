@@ -142,6 +142,65 @@ func (c *Cluster) Degrade(f FaultSpec) (Cluster, error) {
 	return out, nil
 }
 
+// Restore returns a copy of the cluster with the fault on physical
+// device phys cleared — the inverse of one Degrade entry. A restored
+// dead device rejoins the logical numbering (logical-rank
+// re-expansion: survivors above it shift up by one); a derated device
+// returns to full throughput and memory. Cluster-wide link derates are
+// untouched — clear those with RestoreLinks. When the last device
+// entry is removed and no link derate remains, the returned cluster is
+// healthy (Faults == nil), bitwise equal to the pre-Degrade value.
+func (c *Cluster) Restore(phys int) (Cluster, error) {
+	if c.Faults == nil {
+		return *c, fmt.Errorf("hardware: restore device %d: cluster is not degraded", phys)
+	}
+	remaining := make([]DeviceFault, 0, len(c.Faults.Devices))
+	found := false
+	for _, d := range c.Faults.Devices {
+		if d.Device == phys {
+			found = true
+			continue
+		}
+		remaining = append(remaining, d)
+	}
+	if !found {
+		return *c, fmt.Errorf("hardware: restore device %d: no fault recorded for it", phys)
+	}
+	return c.reapply(FaultSpec{
+		Devices:       remaining,
+		IntraBWScale:  c.Faults.IntraBWScale,
+		InterBWScale:  c.Faults.InterBWScale,
+		IntraLatScale: c.Faults.IntraLatScale,
+		InterLatScale: c.Faults.InterLatScale,
+	})
+}
+
+// RestoreLinks returns a copy of the cluster with the cluster-wide
+// link derates cleared (the fabric healed); per-device faults are
+// kept. Calling it on a cluster without link derates — including a
+// healthy one — is a no-op, so a "link restored" event needs no
+// state check at the call site.
+func (c *Cluster) RestoreLinks() (Cluster, error) {
+	if c.Faults == nil {
+		return *c, nil
+	}
+	return c.reapply(FaultSpec{Devices: append([]DeviceFault(nil), c.Faults.Devices...)})
+}
+
+// reapply degrades a healthy copy of c with spec, or returns the
+// healthy copy itself when spec is empty — the shared tail of the
+// Restore paths, which guarantees a fully-restored cluster compares
+// bitwise equal to the original.
+func (c *Cluster) reapply(spec FaultSpec) (Cluster, error) {
+	healthy := *c
+	healthy.Faults = nil
+	if len(spec.Devices) == 0 && spec.IntraBWScale == 0 && spec.InterBWScale == 0 &&
+		spec.IntraLatScale == 0 && spec.InterLatScale == 0 {
+		return healthy, nil
+	}
+	return healthy.Degrade(spec)
+}
+
 // DeadDevices returns how many devices the fault spec removed.
 func (c *Cluster) DeadDevices() int {
 	if c.Faults == nil {

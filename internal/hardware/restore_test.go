@@ -1,0 +1,164 @@
+// Degrade/Restore round-trip property tests. This file lives in the
+// external test package so it can draw specs from
+// chaos.RandomValidFaultSpec (chaos imports hardware; the test binary
+// may import both without a cycle).
+package hardware_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"aceso/internal/chaos"
+	"aceso/internal/hardware"
+)
+
+// TestDegradeRestoreRoundTrip is the satellite property test: for
+// random valid fault specs, restoring every faulted device (in random
+// order) and then the links reproduces the original cluster bitwise —
+// including the logical-rank compaction/expansion in between.
+func TestDegradeRestoreRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		devices := 2 << rng.Intn(4) // 2, 4, 8 or 16
+		cl := hardware.DGX1V100(4).Restrict(devices)
+		spec := chaos.RandomValidFaultSpec(rng, devices)
+		cur, err := cl.Degrade(spec)
+		if err != nil {
+			t.Fatalf("seed %d: degrade: %v", seed, err)
+		}
+
+		// The expected dead set, maintained across restores.
+		dead := map[int]bool{}
+		for _, d := range spec.Devices {
+			if d.Dead {
+				dead[d.Device] = true
+			}
+		}
+
+		checkRanks := func(c *hardware.Cluster) {
+			t.Helper()
+			wantAlive := devices - len(dead)
+			if got := c.TotalDevices(); got != wantAlive {
+				t.Fatalf("seed %d: TotalDevices = %d, want %d (dead %v)", seed, got, wantAlive, dead)
+			}
+			prev := -1
+			for l := 0; l < wantAlive; l++ {
+				p := c.PhysOf(l)
+				if p <= prev {
+					t.Fatalf("seed %d: PhysOf not strictly increasing at logical %d: %d after %d", seed, l, p, prev)
+				}
+				if dead[p] {
+					t.Fatalf("seed %d: logical %d maps to dead physical %d", seed, l, p)
+				}
+				prev = p
+			}
+		}
+		checkRanks(&cur)
+
+		for _, i := range rng.Perm(len(spec.Devices)) {
+			d := spec.Devices[i]
+			next, err := cur.Restore(d.Device)
+			if err != nil {
+				t.Fatalf("seed %d: restore %d: %v", seed, d.Device, err)
+			}
+			delete(dead, d.Device)
+			cur = next
+			checkRanks(&cur)
+			if err := cur.Validate(); err != nil {
+				t.Fatalf("seed %d: cluster invalid after restoring %d: %v", seed, d.Device, err)
+			}
+			if s := cur.DeviceFLOPSScale(logicalOf(t, &cur, d.Device)); s != 1 {
+				t.Fatalf("seed %d: device %d still derated (scale %v) after restore", seed, d.Device, s)
+			}
+		}
+		cur, err = cur.RestoreLinks()
+		if err != nil {
+			t.Fatalf("seed %d: restore links: %v", seed, err)
+		}
+		if !reflect.DeepEqual(cur, cl) {
+			t.Fatalf("seed %d: round trip diverged:\n got %#v\nwant %#v", seed, cur, cl)
+		}
+	}
+}
+
+// logicalOf finds the logical rank of a physical device (which must be
+// alive).
+func logicalOf(t *testing.T, c *hardware.Cluster, phys int) int {
+	t.Helper()
+	for l := 0; l < c.TotalDevices(); l++ {
+		if c.PhysOf(l) == phys {
+			return l
+		}
+	}
+	t.Fatalf("physical device %d not alive", phys)
+	return -1
+}
+
+func TestRestoreErrors(t *testing.T) {
+	cl := hardware.DGX1V100(1).Restrict(4)
+	if _, err := cl.Restore(0); err == nil {
+		t.Fatal("Restore on a healthy cluster should fail")
+	}
+	deg, err := cl.Degrade(hardware.FaultSpec{Devices: []hardware.DeviceFault{{Device: 1, Dead: true}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := deg.Restore(2); err == nil {
+		t.Fatal("Restore of an unfaulted device should fail")
+	}
+	back, err := deg.Restore(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Faults != nil {
+		t.Fatalf("fully restored cluster should be healthy, got %#v", back.Faults)
+	}
+	if _, err := back.Restore(1); err == nil {
+		t.Fatal("double Restore should fail")
+	}
+	// RestoreLinks is a no-op on healthy clusters.
+	same, err := cl.RestoreLinks()
+	if err != nil || !reflect.DeepEqual(same, cl) {
+		t.Fatalf("RestoreLinks on healthy cluster: %v, %#v", err, same)
+	}
+}
+
+// TestRestoreKeepsOtherFaults pins that Restore removes exactly one
+// entry and RestoreLinks exactly the link scales.
+func TestRestoreKeepsOtherFaults(t *testing.T) {
+	cl := hardware.DGX1V100(1).Restrict(4)
+	deg, err := cl.Degrade(hardware.FaultSpec{
+		Devices: []hardware.DeviceFault{
+			{Device: 0, Dead: true},
+			{Device: 2, FLOPSScale: 0.5, MemScale: 1},
+		},
+		InterBWScale: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := deg.Restore(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalDevices() != 4 {
+		t.Fatalf("TotalDevices = %d after restoring the dead device, want 4", r.TotalDevices())
+	}
+	if s := r.DeviceFLOPSScale(2); s != 0.5 {
+		t.Fatalf("device 2 derate lost: scale = %v, want 0.5", s)
+	}
+	if bw := r.EffInterBW(); bw != cl.InterBW*0.25 {
+		t.Fatalf("link derate lost: EffInterBW = %v", bw)
+	}
+	r, err = r.RestoreLinks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw := r.EffInterBW(); bw != cl.InterBW {
+		t.Fatalf("EffInterBW = %v after RestoreLinks, want healthy %v", bw, cl.InterBW)
+	}
+	if s := r.DeviceFLOPSScale(2); s != 0.5 {
+		t.Fatalf("RestoreLinks dropped the device derate: scale = %v", s)
+	}
+}

@@ -47,6 +47,23 @@ const (
 	// ElasticRecovery is a Timer; the snapshot suffixes it with
 	// _seconds_total and _count.
 	ElasticRecovery = "aceso_elastic_recovery"
+
+	// Continuous-churn supervisor (elastic.Supervise). Events carry a
+	// `{kind="..."}` label per ChurnKind, ladder commits a
+	// `{rung="..."}` label per degradation rung, and transitions a
+	// `{kind="..."}` label per TransitionKind.
+	ChurnEventsTotal         = "aceso_churn_events_total"
+	ChurnFaultsTotal         = "aceso_churn_faults_total"
+	ChurnReplansTotal        = "aceso_churn_replans_total"
+	ChurnReplansAvoidedTotal = "aceso_churn_replans_avoided_total"
+	ChurnLadderTotal         = "aceso_churn_ladder_total"
+	ChurnBackoffRetriesTotal = "aceso_churn_backoff_retries_total"
+	ChurnPausesTotal         = "aceso_churn_pauses_total"
+	ChurnTransitionsTotal    = "aceso_churn_transitions_total"
+	ChurnStepsLostTotal      = "aceso_churn_steps_lost_total"
+	// ChurnRecovery is a Timer; the snapshot suffixes it with
+	// _seconds_total and _count.
+	ChurnRecovery = "aceso_churn_recovery"
 )
 
 // Counter is a monotonic (or Set-overwritten snapshot) integer metric.
