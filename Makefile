@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test ci bench-search bench-guard bench-scale chaos fuzz-smoke trace-smoke diff-smoke elastic-smoke churn-smoke
+.PHONY: build test ci bench-search bench-guard bench-scale bench-serve chaos fuzz-smoke trace-smoke diff-smoke elastic-smoke churn-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -21,13 +21,16 @@ test:
 # tuples; any Eq.1/Eq.2 invariant violation fails the build and leaves
 # a shrunken repro JSON behind), and the elastic-runtime smoke
 # (checkpoint → kill → replan → reshard → resume must rejoin the
-# uninterrupted trajectory, plus randomized elastic chaos trials), and
-# the continuous-churn smoke (a seeded multi-event schedule through
-# elastic.Supervise plus randomized churn chaos trials).
+# uninterrupted trajectory, plus randomized elastic chaos trials), the
+# continuous-churn smoke (a seeded multi-event schedule through
+# elastic.Supervise plus randomized churn chaos trials), and the
+# planning-daemon smoke (start acesod, one cold plan, one cache hit
+# that must replay identical bytes, an SSE stream, a /metrics scrape,
+# then a real SIGTERM drain).
 ci: build
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/core/... ./internal/perfmodel/... ./internal/memo/...
+	$(GO) test -race ./internal/core/... ./internal/perfmodel/... ./internal/memo/... ./internal/planserver/... ./internal/plancache/... ./internal/obs/...
 	$(MAKE) fuzz-smoke
 	$(GO) test -run xxx -bench BenchmarkSearchThroughput -benchtime 1x .
 	$(MAKE) bench-guard
@@ -36,6 +39,7 @@ ci: build
 	$(MAKE) diff-smoke
 	$(MAKE) elastic-smoke
 	$(MAKE) churn-smoke
+	$(MAKE) serve-smoke
 
 # trace-smoke runs the observability target into a scratch directory:
 # it exercises the JSONL tracer, the metrics registry and the breakdown
@@ -108,3 +112,15 @@ bench-guard:
 # the committed file.
 bench-scale:
 	$(GO) run ./cmd/acesobench scale
+
+# serve-smoke boots the planning daemon in self-test mode on an
+# ephemeral port: cold plan → exact cache hit (bytes must match) →
+# SSE stream → /metrics scrape → /healthz → SIGTERM drain. Part of ci.
+serve-smoke:
+	$(GO) run ./cmd/acesod -smoke
+
+# bench-serve load-tests the planserver over real HTTP (load, overload,
+# drain and cache-identity phases) and rewrites BENCH_serve.json,
+# exiting non-zero on any error-rate or cache-correctness gate.
+bench-serve:
+	$(GO) run ./cmd/acesobench serve

@@ -872,6 +872,9 @@ func main() {
 	elasticTrials := flag.Int("elastic-trials", chaos.DefaultElasticTrials, "randomized chaos trials for the elastic target")
 	churnFile := flag.String("churnfile", "BENCH_churn.json", "output path for the churn target's report")
 	churnTrials := flag.Int("churn-trials", chaos.DefaultChurnTrials, "randomized chaos trials for the churn target")
+	serveFile := flag.String("servefile", "BENCH_serve.json", "output path for the serve target's report")
+	serveReqs := flag.Int("serve-requests", 1200, "load-phase requests for the serve target")
+	serveClients := flag.Int("serve-clients", 32, "concurrent client workers for the serve target")
 	flag.Parse()
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -1176,6 +1179,19 @@ func main() {
 		}
 		if violations > 0 {
 			fail("churn", fmt.Errorf("%d invariant violations", violations))
+		}
+		fmt.Fprintln(w)
+	}
+
+	if want["serve"] { // deliberately not part of "all"
+		fmt.Fprintf(w, "running serve load benchmark (%d requests, %d clients)...\n",
+			*serveReqs, *serveClients)
+		violations, err := runServeBench(*serveFile, *serveReqs, *serveClients, w)
+		if err != nil {
+			fail("serve", err)
+		}
+		if violations > 0 {
+			fail("serve", fmt.Errorf("%d gate violations", violations))
 		}
 		fmt.Fprintln(w)
 	}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"aceso/internal/hardware"
+	"aceso/internal/model"
+	"aceso/internal/obs"
+	"aceso/internal/perfmodel"
+)
+
+// TestConcurrentSearchesSharedRegistryAndModel is the daemon's core
+// safety assumption, run under -race in CI: multiple SearchContext
+// calls in flight at once, sharing one obs.Registry, one bounded
+// tracer, and one perfmodel.Model (whose profiler memo and stage
+// cache are the shared hot state), each with its own arenas. Results
+// must match a serial baseline exactly — concurrency may interleave
+// metric updates but must not change what any search explores.
+func TestConcurrentSearchesSharedRegistryAndModel(t *testing.T) {
+	g, err := model.GPT3("350M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := hardware.DGX1V100(1).Restrict(4)
+	pm := perfmodel.New(g, cl, 7)
+
+	opts := func(seed int64) Options {
+		return Options{
+			TimeBudget:    time.Hour, // MaxIterations bounds the run
+			StageCounts:   []int{1, 2},
+			MaxIterations: 3,
+			Seed:          seed,
+			Model:         pm,
+		}
+	}
+
+	// Serial baselines, one per seed, on a private model so the shared
+	// instance's caches start cold for the concurrent phase.
+	type outcome struct {
+		score    float64
+		explored int
+		hash     uint64
+	}
+	seeds := []int64{7, 8}
+	baseline := make(map[int64]outcome)
+	for _, seed := range seeds {
+		o := opts(seed)
+		o.Model = perfmodel.New(g, cl, 7)
+		res, err := SearchContext(context.Background(), g, cl, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline[seed] = outcome{res.Best.Score, res.Explored, res.Best.Config.Hash()}
+	}
+
+	reg := obs.NewRegistry()
+	tracer := obs.NewBoundedJSONLTracer(256)
+	const workers = 4
+	results := make([]outcome, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			o := opts(seeds[i%len(seeds)])
+			o.Metrics = reg
+			o.Tracer = tracer
+			res, err := SearchContext(context.Background(), g, cl, o)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = outcome{res.Best.Score, res.Explored, res.Best.Config.Hash()}
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		want := baseline[seeds[i%len(seeds)]]
+		if results[i] != want {
+			t.Errorf("worker %d: got %+v, want serial baseline %+v", i, results[i], want)
+		}
+	}
+	if n := reg.Counter(obs.CandidatesEstimatedTotal).Value(); n <= 0 {
+		t.Errorf("shared registry saw no estimates (counter = %d)", n)
+	}
+}

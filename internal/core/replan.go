@@ -27,28 +27,41 @@ func Replan(ctx context.Context, g *model.Graph, cl hardware.Cluster, faults har
 	if err != nil {
 		return nil, fmt.Errorf("core: replan: %w", err)
 	}
-	if prev != nil {
-		opts.Initializer = WarmStart(prev)
-		// Make sure the surviving configuration's depth is among the
-		// searched stage counts, or the warm start would never engage.
-		if proj, err := ProjectConfig(g, prev, degraded.TotalDevices()); err == nil {
-			depth := proj.NumStages()
-			counts := opts.StageCounts
-			if len(counts) == 0 {
-				counts = defaultStageCounts(degraded.TotalDevices(), len(g.Ops))
-			}
-			found := false
-			for _, p := range counts {
-				if p == depth {
-					found = true
-					break
-				}
-			}
-			if !found {
-				counts = append(append([]int(nil), counts...), depth)
-			}
-			opts.StageCounts = counts
-		}
-	}
+	opts = WarmOptions(g, prev, degraded.TotalDevices(), opts)
 	return SearchContext(ctx, g, degraded, opts)
+}
+
+// WarmOptions returns opts seeded to warm-start the search from prev
+// on a cluster with the given device count: the initializer replays
+// prev (projected onto the available devices) and the searched stage
+// counts are extended with the projection's depth so the warm start
+// engages. prev == nil returns opts unchanged. This is the shared
+// seeding step behind Replan and the plan-cache near-miss path in the
+// acesod daemon.
+func WarmOptions(g *model.Graph, prev *config.Config, devices int, opts Options) Options {
+	if prev == nil {
+		return opts
+	}
+	opts.Initializer = WarmStart(prev)
+	// Make sure the surviving configuration's depth is among the
+	// searched stage counts, or the warm start would never engage.
+	if proj, err := ProjectConfig(g, prev, devices); err == nil {
+		depth := proj.NumStages()
+		counts := opts.StageCounts
+		if len(counts) == 0 {
+			counts = defaultStageCounts(devices, len(g.Ops))
+		}
+		found := false
+		for _, p := range counts {
+			if p == depth {
+				found = true
+				break
+			}
+		}
+		if !found {
+			counts = append(append([]int(nil), counts...), depth)
+		}
+		opts.StageCounts = counts
+	}
+	return opts
 }

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -64,6 +66,23 @@ const (
 	// ChurnRecovery is a Timer; the snapshot suffixes it with
 	// _seconds_total and _count.
 	ChurnRecovery = "aceso_churn_recovery"
+
+	// Planner-as-a-service daemon (internal/planserver / cmd/acesod).
+	// Requests carry a `{code="..."}` label per HTTP status, cache hits
+	// a `{kind="exact"|"warm"}` label per hit class.
+	ServeRequestsTotal     = "aceso_serve_requests_total"
+	ServeCacheHitsTotal    = "aceso_serve_cache_hits_total"
+	ServeCacheMissesTotal  = "aceso_serve_cache_misses_total"
+	ServeShedTotal         = "aceso_serve_shed_total"
+	ServeDrainRejectsTotal = "aceso_serve_drain_rejects_total"
+	ServeStreamsTotal      = "aceso_serve_streams_total"
+	// ServeInflight / ServeQueueDepth / ServeCacheEntries are Gauges.
+	ServeInflight     = "aceso_serve_inflight"
+	ServeQueueDepth   = "aceso_serve_queue_depth"
+	ServeCacheEntries = "aceso_serve_cache_entries"
+	// ServeRequestSeconds is a Timer; the snapshot suffixes it with
+	// _seconds_total and _count.
+	ServeRequestSeconds = "aceso_serve_request"
 )
 
 // Counter is a monotonic (or Set-overwritten snapshot) integer metric.
@@ -83,6 +102,29 @@ func (c *Counter) Set(n int64) { c.v.Store(n) }
 
 // Value returns the current value.
 func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float metric that can move both ways (queue depths,
+// in-flight request counts). Stored as float64 bits in an atomic
+// word, so Set/Value are lock-free like the other metric updates.
+type Gauge struct {
+	v atomic.Uint64
+}
+
+// Set overwrites the value.
+func (g *Gauge) Set(v float64) { g.v.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by d (d may be negative).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.v.Load()
+		if g.v.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
 
 // Timer accumulates durations: total time and observation count.
 type Timer struct {
@@ -137,6 +179,7 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	timers   map[string]*Timer
 	hists    map[string]*Histogram
 }
@@ -145,6 +188,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		timers:   make(map[string]*Timer),
 		hists:    make(map[string]*Histogram),
 	}
@@ -160,6 +204,18 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Timer returns the named timer, creating it on first use.
@@ -190,33 +246,97 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	return h
 }
 
-// snapshot renders every metric into a flat, sorted name→value map.
-func (r *Registry) snapshot() (names []string, vals map[string]float64) {
+// promSample is one rendered series: its full name (including any
+// label block) and its value.
+type promSample struct {
+	name string
+	val  float64
+}
+
+// promFamily groups every series of one metric family under the
+// family's exposition-format type. The Prometheus text format requires
+// a family's series to be contiguous (one TYPE line, no interleaving
+// with other families) and a histogram's buckets to come in ascending
+// `le` order — the snapshot was historically a flat lexical sort,
+// which violated both (`'+'` sorts before digits, so the +Inf bucket
+// led; a labeled family whose base name prefixes another metric
+// straddled it).
+type promFamily struct {
+	name    string
+	typ     string // "counter", "gauge" or "histogram"
+	samples []promSample
+}
+
+// families renders every metric into an ordered family list: families
+// sorted by name, counter/gauge series sorted by full series name
+// within their family, histogram series in canonical order (buckets by
+// ascending bound, +Inf, then _sum and _count). The order is total and
+// input-independent, so snapshots stay deterministic.
+func (r *Registry) families() []promFamily {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	vals = make(map[string]float64)
+	byName := make(map[string]*promFamily)
+	add := func(family, typ, series string, v float64) {
+		f, ok := byName[family]
+		if !ok {
+			f = &promFamily{name: family, typ: typ}
+			byName[family] = f
+		}
+		f.samples = append(f.samples, promSample{series, v})
+	}
 	for n, c := range r.counters {
-		vals[n] = float64(c.Value())
+		add(baseName(n), "counter", n, float64(c.Value()))
+	}
+	for n, g := range r.gauges {
+		add(baseName(n), "gauge", n, g.Value())
 	}
 	for n, t := range r.timers {
-		vals[n+"_seconds_total"] = t.Total().Seconds()
-		vals[n+"_count"] = float64(t.Count())
+		add(n+"_seconds_total", "counter", n+"_seconds_total", t.Total().Seconds())
+		add(n+"_count", "counter", n+"_count", float64(t.Count()))
 	}
 	for n, h := range r.hists {
 		cum := int64(0)
 		for i := range h.bounds {
 			cum += h.buckets[i].Load()
-			vals[fmt.Sprintf("%s_bucket{le=\"%g\"}", n, h.bounds[i])] = float64(cum)
+			add(n, "histogram", fmt.Sprintf("%s_bucket{le=%q}", n, formatFloat(h.bounds[i])), float64(cum))
 		}
-		vals[n+`_bucket{le="+Inf"}`] = float64(h.count.Load())
-		vals[n+"_sum"] = float64(h.sum.Load()) / histScale
-		vals[n+"_count"] = float64(h.count.Load())
+		add(n, "histogram", n+`_bucket{le="+Inf"}`, float64(h.count.Load()))
+		add(n, "histogram", n+"_sum", float64(h.sum.Load())/histScale)
+		add(n, "histogram", n+"_count", float64(h.count.Load()))
 	}
-	names = make([]string, 0, len(vals))
-	for n := range vals {
-		names = append(names, n)
+	out := make([]promFamily, 0, len(byName))
+	for _, f := range byName {
+		if f.typ != "histogram" {
+			sort.Slice(f.samples, func(a, b int) bool { return f.samples[a].name < f.samples[b].name })
+		}
+		out = append(out, *f)
 	}
-	sort.Strings(names)
+	sort.Slice(out, func(a, b int) bool { return out[a].name < out[b].name })
+	return out
+}
+
+// baseName truncates a series name at its label block.
+func baseName(n string) string {
+	if i := strings.IndexByte(n, '{'); i >= 0 {
+		return n[:i]
+	}
+	return n
+}
+
+// formatFloat renders a float the way the registry always has (%g).
+func formatFloat(v float64) string { return fmt.Sprintf("%g", v) }
+
+// snapshot renders every metric into an ordered name list plus a
+// name→value map (family-grouped, buckets in bound order).
+func (r *Registry) snapshot() (names []string, vals map[string]float64) {
+	fams := r.families()
+	vals = make(map[string]float64)
+	for _, f := range fams {
+		for _, s := range f.samples {
+			names = append(names, s.name)
+			vals[s.name] = s.val
+		}
+	}
 	return names, vals
 }
 
@@ -256,25 +376,104 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 }
 
 // WritePrometheus writes the snapshot in the Prometheus text
-// exposition format (counters and the flattened timer/histogram series
-// all typed as counters — they are cumulative).
+// exposition format: one TYPE line per family, families contiguous and
+// sorted by name, histograms typed as such with their buckets in
+// ascending `le` order, and label values re-escaped per the format
+// (`\\`, `\"`, `\n`). Timers flatten to two counter families
+// (_seconds_total and _count — both cumulative).
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	names, vals := r.snapshot()
-	seen := make(map[string]bool)
-	for _, n := range names {
-		base := n
-		if i := strings.IndexByte(base, '{'); i >= 0 {
-			base = base[:i]
+	for _, f := range r.families() {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
 		}
-		if !seen[base] {
-			seen[base] = true
-			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", base); err != nil {
+		for _, s := range f.samples {
+			if _, err := fmt.Fprintf(w, "%s %g\n", normalizeSeries(s.name), s.val); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s %g\n", n, vals[n]); err != nil {
-			return err
-		}
 	}
 	return nil
+}
+
+// normalizeSeries re-escapes the label values of a series name for the
+// exposition format. Series names are built by callers with %q (Go
+// string quoting), which agrees with Prometheus escaping for `\\`,
+// `\"` and `\n` but diverges on other control and non-ASCII bytes
+// (Go writes \xNN / \uNNNN escapes the exposition format does not
+// interpret). Unparsable label blocks pass through verbatim — a
+// malformed name should surface in the scrape, not be silently
+// dropped.
+func normalizeSeries(name string) string {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name
+	}
+	if !strings.HasSuffix(name, "}") {
+		return name
+	}
+	block := name[i+1 : len(name)-1]
+	var b strings.Builder
+	b.WriteString(name[:i])
+	b.WriteByte('{')
+	first := true
+	for block != "" {
+		eq := strings.IndexByte(block, '=')
+		if eq <= 0 {
+			return name
+		}
+		key := block[:eq]
+		rest := block[eq+1:]
+		val, tail, err := unquoteLabelValue(rest)
+		if err != nil {
+			return name
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(val))
+		b.WriteByte('"')
+		block = tail
+		if strings.HasPrefix(block, ",") {
+			block = block[1:]
+		} else if block != "" {
+			return name
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// unquoteLabelValue consumes one double-quoted (Go-quoted) value from
+// the front of s and returns the decoded value and the remainder.
+func unquoteLabelValue(s string) (val, tail string, err error) {
+	prefix, err := strconv.QuotedPrefix(s)
+	if err != nil {
+		return "", "", err
+	}
+	val, err = strconv.Unquote(prefix)
+	if err != nil {
+		return "", "", err
+	}
+	return val, s[len(prefix):], nil
+}
+
+// escapeLabelValue applies the exposition format's label escaping.
+func escapeLabelValue(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }

@@ -1,0 +1,335 @@
+// Package planserver implements the HTTP+JSON planning service behind
+// cmd/acesod: wire types for plan requests, content-addressed caching
+// via internal/plancache, admission control with bounded queuing and
+// backpressure, SSE progress streaming, and graceful drain. The
+// daemon turns the batch search into the on-demand planner ROADMAP
+// item 1 calls for — cheap re-planning only pays off operationally if
+// supervisors can query it in seconds (see DESIGN.md §5i).
+package planserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"aceso/internal/config"
+	"aceso/internal/core"
+	"aceso/internal/hardware"
+	"aceso/internal/model"
+	"aceso/internal/plancache"
+)
+
+// ModelSpec names a model-zoo builder plus its parameters. Exactly the
+// fields the named family reads are consulted; the rest are ignored.
+type ModelSpec struct {
+	// Family selects the builder: gpt3 | t5 | wideresnet | llama |
+	// deep | tinygpt | mlp | mlpnorm | uniform.
+	Family string `json:"family"`
+	// Size is the named scale for gpt3/t5/wideresnet/llama
+	// (e.g. "1.3B", "large").
+	Size string `json:"size,omitempty"`
+
+	// Builder parameters for tinygpt/mlp/mlpnorm/deep/uniform.
+	Layers int `json:"layers,omitempty"`
+	Dim    int `json:"dim,omitempty"`
+	Hidden int `json:"hidden,omitempty"`
+	Heads  int `json:"heads,omitempty"`
+	Seq    int `json:"seq,omitempty"`
+	Batch  int `json:"batch,omitempty"`
+
+	// Uniform synthetic-graph parameters (per-op costs).
+	Ops    int     `json:"ops,omitempty"`
+	FLOPs  float64 `json:"flops,omitempty"`
+	Params float64 `json:"params,omitempty"`
+	Act    float64 `json:"act,omitempty"`
+}
+
+// Build constructs the model graph the spec describes.
+func (m *ModelSpec) Build() (*model.Graph, error) {
+	switch m.Family {
+	case "gpt3":
+		return model.GPT3(m.Size)
+	case "t5":
+		return model.T5(m.Size)
+	case "wideresnet":
+		return model.WideResNet(m.Size)
+	case "llama":
+		return model.Llama(m.Size)
+	case "deep":
+		return model.DeepTransformer(m.Layers)
+	case "tinygpt":
+		return model.TinyGPT(m.Layers, m.Seq, m.Hidden, m.Heads, m.Batch)
+	case "mlp":
+		return model.MLP(m.Layers, m.Dim, m.Batch)
+	case "mlpnorm":
+		return model.MLPWithNorm(m.Layers, m.Dim, m.Batch)
+	case "uniform":
+		if m.Ops <= 0 || m.Batch <= 0 {
+			return nil, fmt.Errorf("planserver: uniform model needs ops > 0 and batch > 0")
+		}
+		g := model.Uniform(m.Ops, m.FLOPs, m.Params, m.Act, m.Batch)
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+		return g, nil
+	case "":
+		return nil, fmt.Errorf("planserver: model.family is required")
+	default:
+		return nil, fmt.Errorf("planserver: unknown model family %q", m.Family)
+	}
+}
+
+// DerateSpec derates one device (rank in the healthy numbering).
+// Scales of 0 mean "unchanged" on the wire and normalize to 1.
+type DerateSpec struct {
+	Device     int     `json:"device"`
+	FLOPSScale float64 `json:"flops_scale,omitempty"`
+	MemScale   float64 `json:"mem_scale,omitempty"`
+}
+
+// FaultsSpec is the wire form of hardware.FaultSpec.
+type FaultsSpec struct {
+	Dead    []int        `json:"dead,omitempty"`
+	Derates []DerateSpec `json:"derates,omitempty"`
+
+	IntraBWScale  float64 `json:"intra_bw_scale,omitempty"`
+	InterBWScale  float64 `json:"inter_bw_scale,omitempty"`
+	IntraLatScale float64 `json:"intra_lat_scale,omitempty"`
+	InterLatScale float64 `json:"inter_lat_scale,omitempty"`
+}
+
+// ClusterSpec describes the target cluster. Faults, when present,
+// route the request through core.Replan against the degraded cluster.
+type ClusterSpec struct {
+	// Preset names the parametric cluster ("dgx1v100", the default and
+	// only preset today).
+	Preset string `json:"preset,omitempty"`
+	Nodes  int    `json:"nodes"`
+	// Restrict keeps only the first N devices (0 = all).
+	Restrict int         `json:"restrict,omitempty"`
+	Faults   *FaultsSpec `json:"faults,omitempty"`
+}
+
+// Build returns the healthy cluster plus the fault spec to apply (nil
+// when the request targets healthy hardware). The faults are returned
+// unapplied because the Replan path wants (healthy cluster, spec).
+func (c *ClusterSpec) Build() (hardware.Cluster, *hardware.FaultSpec, error) {
+	switch c.Preset {
+	case "", "dgx1v100":
+	default:
+		return hardware.Cluster{}, nil, fmt.Errorf("planserver: unknown cluster preset %q", c.Preset)
+	}
+	if c.Nodes <= 0 {
+		return hardware.Cluster{}, nil, fmt.Errorf("planserver: cluster.nodes must be > 0")
+	}
+	cl := hardware.DGX1V100(c.Nodes)
+	if c.Restrict > 0 {
+		cl = cl.Restrict(c.Restrict)
+	}
+	if c.Faults == nil {
+		return cl, nil, nil
+	}
+	spec := hardware.FaultSpec{
+		IntraBWScale:  c.Faults.IntraBWScale,
+		InterBWScale:  c.Faults.InterBWScale,
+		IntraLatScale: c.Faults.IntraLatScale,
+		InterLatScale: c.Faults.InterLatScale,
+	}
+	for _, d := range c.Faults.Dead {
+		spec.Devices = append(spec.Devices, hardware.DeviceFault{Device: d, Dead: true})
+	}
+	for _, d := range c.Faults.Derates {
+		f := hardware.DeviceFault{Device: d.Device, FLOPSScale: d.FLOPSScale, MemScale: d.MemScale}
+		if f.FLOPSScale == 0 {
+			f.FLOPSScale = 1
+		}
+		if f.MemScale == 0 {
+			f.MemScale = 1
+		}
+		spec.Devices = append(spec.Devices, f)
+	}
+	if err := spec.Validate(cl); err != nil {
+		return hardware.Cluster{}, nil, err
+	}
+	return cl, &spec, nil
+}
+
+// SearchOptions is the wire form of core.Options. Zero values take the
+// server's defaults; the normalized (defaults-applied) form is what
+// the options hash covers, so spelling a default explicitly hits the
+// same cache entry as omitting it.
+type SearchOptions struct {
+	BudgetMS           int   `json:"budget_ms,omitempty"`
+	MaxIterations      int   `json:"max_iterations,omitempty"`
+	MaxHops            int   `json:"max_hops,omitempty"`
+	BranchFactor       int   `json:"branch_factor,omitempty"`
+	TopK               int   `json:"top_k,omitempty"`
+	StageCounts        []int `json:"stage_counts,omitempty"`
+	InitMicroBatch     int   `json:"init_micro_batch,omitempty"`
+	Seed               int64 `json:"seed,omitempty"`
+	DisableHeuristic2  bool  `json:"disable_heuristic2,omitempty"`
+	DisableFineTune    bool  `json:"disable_finetune,omitempty"`
+	ExtendedPrimitives bool  `json:"extended_primitives,omitempty"`
+}
+
+// normalize applies the server's budget policy: default when unset,
+// clamped to the server maximum.
+func (o SearchOptions) normalize(defaultBudget, maxBudget time.Duration) SearchOptions {
+	b := time.Duration(o.BudgetMS) * time.Millisecond
+	if b <= 0 {
+		b = defaultBudget
+	}
+	if maxBudget > 0 && b > maxBudget {
+		b = maxBudget
+	}
+	o.BudgetMS = int(b / time.Millisecond)
+	return o
+}
+
+// core converts the normalized options into core.Options.
+func (o SearchOptions) core() core.Options {
+	return core.Options{
+		TimeBudget:         time.Duration(o.BudgetMS) * time.Millisecond,
+		MaxIterations:      o.MaxIterations,
+		MaxHops:            o.MaxHops,
+		BranchFactor:       o.BranchFactor,
+		TopK:               o.TopK,
+		StageCounts:        o.StageCounts,
+		InitMicroBatch:     o.InitMicroBatch,
+		Seed:               o.Seed,
+		DisableHeuristic2:  o.DisableHeuristic2,
+		DisableFineTune:    o.DisableFineTune,
+		ExtendedPrimitives: o.ExtendedPrimitives,
+	}
+}
+
+// hash folds the normalized options into the cache key's options
+// component. Field order is the schema.
+func (o SearchOptions) hash() uint64 {
+	h := plancache.NewHasher()
+	h.Int(int64(o.BudgetMS))
+	h.Int(int64(o.MaxIterations))
+	h.Int(int64(o.MaxHops))
+	h.Int(int64(o.BranchFactor))
+	h.Int(int64(o.TopK))
+	h.Int(int64(len(o.StageCounts)))
+	for _, p := range o.StageCounts {
+		h.Int(int64(p))
+	}
+	h.Int(int64(o.InitMicroBatch))
+	h.Int(o.Seed)
+	h.Bool(o.DisableHeuristic2)
+	h.Bool(o.DisableFineTune)
+	h.Bool(o.ExtendedPrimitives)
+	return h.Sum()
+}
+
+// PlanRequest is the body of POST /v1/plan.
+type PlanRequest struct {
+	Model   ModelSpec     `json:"model"`
+	Cluster ClusterSpec   `json:"cluster"`
+	Options SearchOptions `json:"options"`
+	// DeadlineMS bounds the whole request wall time (0 = budget + slack).
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// Stream switches the response to SSE progress events.
+	Stream bool `json:"stream,omitempty"`
+	// NoCache skips the cache lookup (the store still happens), for
+	// callers that want a fresh search — and for cache-correctness
+	// audits comparing fresh bytes against a hit.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// StagePlan is the per-stage slice of the estimate breakdown.
+type StagePlan struct {
+	Start   int `json:"start"`
+	End     int `json:"end"`
+	Devices int `json:"devices"`
+
+	StageTimeSeconds float64 `json:"stage_time_seconds"`
+	FwdSeconds       float64 `json:"fwd_seconds"`
+	BwdSeconds       float64 `json:"bwd_seconds"`
+	TPCommSeconds    float64 `json:"tp_comm_seconds"`
+	P2PSeconds       float64 `json:"p2p_seconds"`
+	RecompSeconds    float64 `json:"recomp_seconds"`
+	ReshardSeconds   float64 `json:"reshard_seconds"`
+	DPSyncSeconds    float64 `json:"dp_sync_seconds"`
+	PeakMemBytes     float64 `json:"peak_mem_bytes"`
+	CapMemBytes      float64 `json:"cap_mem_bytes"`
+}
+
+// Plan is the deterministic payload of a planning result — everything
+// in it is a pure function of (graph, cluster, options) for a
+// deterministic search, so it can be cached and replayed
+// bit-identically. Wall-clock timings live in the PlanResponse
+// envelope instead.
+type Plan struct {
+	Config          *config.Config `json:"config"`
+	Score           float64        `json:"score"`
+	IterTimeSeconds float64        `json:"iter_time_seconds"`
+	PeakMemBytes    float64        `json:"peak_mem_bytes"`
+	Feasible        bool           `json:"feasible"`
+	Microbatches    int            `json:"microbatches"`
+	Devices         int            `json:"devices"`
+	Stages          []StagePlan    `json:"stages"`
+	Explored        int            `json:"explored"`
+	Iterations      int            `json:"iterations"`
+	Partial         bool           `json:"partial"`
+}
+
+// buildPlan projects a search result onto the wire Plan.
+func buildPlan(res *core.Result) *Plan {
+	best := res.Best
+	p := &Plan{
+		Config:     best.Config,
+		Score:      best.Score,
+		Explored:   res.Explored,
+		Iterations: res.Iterations,
+		Partial:    res.Partial,
+	}
+	if est := best.Estimate; est != nil {
+		p.IterTimeSeconds = est.IterTime
+		p.PeakMemBytes = est.PeakMem
+		p.Feasible = est.Feasible
+		p.Microbatches = est.Microbatches
+		p.Devices = est.Devices
+		for i, sm := range est.Stages {
+			sp := StagePlan{
+				StageTimeSeconds: sm.StageTime,
+				FwdSeconds:       sm.FwdTime,
+				BwdSeconds:       sm.BwdTime,
+				TPCommSeconds:    sm.TPComm,
+				P2PSeconds:       sm.P2P,
+				RecompSeconds:    sm.Recomp,
+				ReshardSeconds:   sm.ReshardComm,
+				DPSyncSeconds:    sm.DPSync,
+				PeakMemBytes:     sm.PeakMem,
+				CapMemBytes:      sm.CapMem,
+			}
+			if best.Config != nil && i < len(best.Config.Stages) {
+				st := &best.Config.Stages[i]
+				sp.Start, sp.End, sp.Devices = st.Start, st.End, st.Devices
+			}
+			p.Stages = append(p.Stages, sp)
+		}
+	}
+	return p
+}
+
+// PlanResponse is the envelope around a Plan: cache disposition, the
+// content key, and this request's wall time.
+type PlanResponse struct {
+	// Cache is "hit" (exact cached plan), "warm" (miss warm-started
+	// from a near-miss donor), or "miss" (cold search).
+	Cache string `json:"cache"`
+	// Key is the content hash triple, hex-encoded as graph-cluster-options.
+	Key       string          `json:"key"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+	Plan      json.RawMessage `json:"plan"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// RetryAfterMS accompanies 429 backpressure responses.
+	RetryAfterMS int `json:"retry_after_ms,omitempty"`
+}

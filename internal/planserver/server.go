@@ -1,0 +1,457 @@
+package planserver
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aceso/internal/config"
+	"aceso/internal/core"
+	"aceso/internal/hardware"
+	"aceso/internal/model"
+	"aceso/internal/obs"
+	"aceso/internal/perfmodel"
+	"aceso/internal/plancache"
+)
+
+// Config parameterizes a Server. Zero values take defaults.
+type Config struct {
+	// Concurrency caps searches running simultaneously (arenas and
+	// estimation pools are per-request, so this bounds peak memory).
+	// Default: GOMAXPROCS.
+	Concurrency int
+	// Queue bounds requests waiting for a search slot; the queue full
+	// → 429 + Retry-After. Default 64.
+	Queue int
+	// CacheSize bounds the plan cache entries. Default 256.
+	CacheSize int
+	// DefaultBudget applies when a request omits budget_ms. Default 2s.
+	DefaultBudget time.Duration
+	// MaxBudget clamps requested budgets (0 = no clamp). Default 30s.
+	MaxBudget time.Duration
+	// TraceCap bounds the rolling iteration-trace window served at
+	// /v1/trace. Default 4096 events.
+	TraceCap int
+	// Registry receives service + search metrics; one is created when
+	// nil.
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concurrency <= 0 {
+		c.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	if c.Queue <= 0 {
+		c.Queue = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.DefaultBudget <= 0 {
+		c.DefaultBudget = 2 * time.Second
+	}
+	if c.MaxBudget == 0 {
+		c.MaxBudget = 30 * time.Second
+	}
+	if c.TraceCap <= 0 {
+		c.TraceCap = 4096
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// Server is the planning service. Create with New, mount Handler on an
+// http.Server, call Drain before shutdown.
+type Server struct {
+	cfg   Config
+	cache *plancache.Cache
+	reg   *obs.Registry
+	trace *obs.JSONLTracer // rolling bounded window for /v1/trace
+
+	sem    chan struct{} // search slots
+	queued atomic.Int64  // requests waiting for a slot
+
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+
+	mux *http.ServeMux
+}
+
+// New constructs a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: plancache.New(cfg.CacheSize),
+		reg:   cfg.Registry,
+		trace: obs.NewBoundedJSONLTracer(cfg.TraceCap),
+		sem:   make(chan struct{}, cfg.Concurrency),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/plan", s.handlePlan)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/trace", s.handleTrace)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the metrics registry the server writes to.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Cache exposes the plan cache (stats endpoints, tests).
+func (s *Server) Cache() *plancache.Cache { return s.cache }
+
+// Drain stops admitting new requests and blocks until every in-flight
+// request (including queued-but-admitted ones) has completed. Safe to
+// call more than once.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.inflight.Wait()
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// beginRequest admits a request into the in-flight set, or reports
+// false when the server is draining. The WaitGroup Add happens under
+// the same lock that Drain sets the flag under, so Add can never race
+// a Wait that already observed an empty set.
+func (s *Server) beginRequest() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+func (s *Server) endRequest() { s.inflight.Done() }
+
+// ---------------------------------------------------------------------------
+// Handlers
+// ---------------------------------------------------------------------------
+
+func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	s.reg.Counter(fmt.Sprintf("%s{code=%q}", obs.ServeRequestsTotal, strconv.Itoa(code))).Inc()
+	resp := ErrorResponse{Error: fmt.Sprintf(format, args...)}
+	if code == http.StatusTooManyRequests {
+		resp.RetryAfterMS = int(s.cfg.DefaultBudget / time.Millisecond)
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.DefaultBudget + time.Second - 1) / time.Second)))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// Refresh the sampled gauges at scrape time.
+	s.reg.Gauge(obs.ServeQueueDepth).Set(float64(s.queued.Load()))
+	s.reg.Gauge(obs.ServeCacheEntries).Set(float64(s.cache.Len()))
+	s.reg.Gauge(obs.ServeInflight).Set(float64(len(s.sem)))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Cache    plancache.Stats `json:"cache"`
+		Entries  int             `json:"entries"`
+		Queued   int64           `json:"queued"`
+		Draining bool            `json:"draining"`
+	}{s.cache.Stats(), s.cache.Len(), s.queued.Load(), s.Draining()})
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/jsonl")
+	_, _ = s.trace.WriteTo(w)
+}
+
+// request carries one plan request through admission and search.
+type request struct {
+	req     PlanRequest
+	graph   *model.Graph
+	healthy hardware.Cluster // pre-fault cluster
+	target  hardware.Cluster // degraded when faults present, else healthy
+	faults  *hardware.FaultSpec
+	opts    SearchOptions // normalized
+	key     plancache.Key
+}
+
+// prepare validates and hashes the request.
+func (s *Server) prepare(pr PlanRequest) (*request, error) {
+	g, err := pr.Model.Build()
+	if err != nil {
+		return nil, err
+	}
+	healthy, faults, err := pr.Cluster.Build()
+	if err != nil {
+		return nil, err
+	}
+	target := healthy
+	if faults != nil {
+		target, err = healthy.Degrade(*faults)
+		if err != nil {
+			return nil, err
+		}
+	}
+	opts := pr.Options.normalize(s.cfg.DefaultBudget, s.cfg.MaxBudget)
+	return &request{
+		req:     pr,
+		graph:   g,
+		healthy: healthy,
+		target:  target,
+		faults:  faults,
+		opts:    opts,
+		key: plancache.Key{
+			Graph:   plancache.GraphHash(g),
+			Cluster: plancache.ClusterHash(&target),
+			Options: opts.hash(),
+		},
+	}, nil
+}
+
+func keyString(k plancache.Key) string {
+	return fmt.Sprintf("%016x-%016x-%016x", k.Graph, k.Cluster, k.Options)
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if !s.beginRequest() {
+		s.reg.Counter(obs.ServeDrainRejectsTotal).Inc()
+		s.writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	defer s.endRequest()
+
+	start := time.Now()
+	defer func() { s.reg.Timer(obs.ServeRequestSeconds).Observe(time.Since(start)) }()
+
+	var pr PlanRequest
+	if err := json.NewDecoder(r.Body).Decode(&pr); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	rq, err := s.prepare(pr)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Exact cache hit: serve the stored bytes without a search slot.
+	if !pr.NoCache && !pr.Stream {
+		if e, ok := s.cache.Get(rq.key); ok {
+			s.reg.Counter(fmt.Sprintf("%s{kind=%q}", obs.ServeCacheHitsTotal, "exact")).Inc()
+			s.respond(w, http.StatusOK, PlanResponse{
+				Cache:     "hit",
+				Key:       keyString(rq.key),
+				ElapsedMS: msSince(start),
+				Plan:      e.Plan,
+			})
+			return
+		}
+		s.reg.Counter(obs.ServeCacheMissesTotal).Inc()
+	}
+
+	// Admission: take a search slot or shed.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		if s.queued.Add(1) > int64(s.cfg.Queue) {
+			s.queued.Add(-1)
+			s.reg.Counter(obs.ServeShedTotal).Inc()
+			s.writeError(w, http.StatusTooManyRequests, "server at capacity (%d running, %d queued)", s.cfg.Concurrency, s.cfg.Queue)
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+			s.queued.Add(-1)
+		case <-r.Context().Done():
+			s.queued.Add(-1)
+			s.writeError(w, http.StatusRequestTimeout, "client gone while queued")
+			return
+		}
+	}
+	defer func() { <-s.sem }()
+
+	// Per-request deadline: explicit, or the search budget plus slack.
+	deadline := time.Duration(pr.DeadlineMS) * time.Millisecond
+	if deadline <= 0 {
+		deadline = time.Duration(rq.opts.BudgetMS)*time.Millisecond + 5*time.Second
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	if pr.Stream {
+		s.servePlanSSE(ctx, w, rq, start)
+		return
+	}
+
+	resp, code, err := s.runSearch(ctx, rq, nil)
+	if err != nil {
+		s.writeError(w, code, "%v", err)
+		return
+	}
+	resp.ElapsedMS = msSince(start)
+	s.respond(w, http.StatusOK, *resp)
+}
+
+func msSince(t time.Time) float64 { return float64(time.Since(t).Microseconds()) / 1e3 }
+
+func (s *Server) respond(w http.ResponseWriter, code int, resp PlanResponse) {
+	s.reg.Counter(fmt.Sprintf("%s{code=%q}", obs.ServeRequestsTotal, strconv.Itoa(code))).Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// runSearch executes the search for rq (the caller holds a slot) and
+// returns the response envelope. extraTracer, when non-nil, receives
+// iteration events alongside the server's rolling trace (the SSE
+// path). On error the int is the HTTP status to report.
+func (s *Server) runSearch(ctx context.Context, rq *request, extraTracer obs.Tracer) (*PlanResponse, int, error) {
+	opts := rq.opts.core()
+	opts.Metrics = s.reg
+	opts.Tracer = obs.MultiTracer(s.trace, extraTracer)
+
+	// Near-miss warm start: same graph and options planned before
+	// under a different cluster — seed from that plan.
+	kind := "miss"
+	var donor *plancache.Entry
+	if !rq.req.NoCache {
+		if e, ok := s.cache.Warm(rq.key.Graph, rq.key.Options); ok && e.Key.Cluster != rq.key.Cluster && e.Config != nil {
+			donor = e
+			kind = "warm"
+		}
+	}
+
+	var res *core.Result
+	var err error
+	if rq.faults != nil {
+		var prev *config.Config
+		if donor != nil {
+			prev = donor.Config
+		}
+		res, err = core.Replan(ctx, rq.graph, rq.healthy, *rq.faults, prev, opts)
+	} else {
+		if donor != nil {
+			opts = core.WarmOptions(rq.graph, donor.Config, rq.target.TotalDevices(), opts)
+		}
+		res, err = core.SearchContext(ctx, rq.graph, rq.target, opts)
+	}
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	if res == nil || res.Best.Config == nil {
+		return nil, http.StatusUnprocessableEntity, fmt.Errorf("search produced no feasible configuration")
+	}
+	if donor != nil {
+		s.reg.Counter(fmt.Sprintf("%s{kind=%q}", obs.ServeCacheHitsTotal, "warm")).Inc()
+	}
+
+	plan := buildPlan(res)
+	raw, err := json.Marshal(plan)
+	if err != nil {
+		return nil, http.StatusInternalServerError, fmt.Errorf("marshal plan: %w", err)
+	}
+	// Freeze the config's hash memos before publishing it to the
+	// cache: cached configs are read concurrently by warm starts.
+	plan.Config.Hash()
+	s.cache.Put(&plancache.Entry{
+		Key:      rq.key,
+		Plan:     raw,
+		Config:   plan.Config,
+		Score:    plan.Score,
+		Explored: plan.Explored,
+	})
+	return &PlanResponse{Cache: kind, Key: keyString(rq.key), Plan: raw}, 0, nil
+}
+
+// ---------------------------------------------------------------------------
+// SSE streaming
+// ---------------------------------------------------------------------------
+
+// sseTracer serializes iteration events onto an SSE stream. Search
+// workers call OnIteration concurrently; the mutex makes each frame
+// atomic.
+type sseTracer struct {
+	mu sync.Mutex
+	w  http.ResponseWriter
+	fl http.Flusher
+}
+
+func (t *sseTracer) OnIteration(ev obs.IterationEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(t.w, "event: iteration\ndata: %s\n\n", data)
+	if t.fl != nil {
+		t.fl.Flush()
+	}
+}
+
+func (t *sseTracer) OnEstimate(*config.Config, *perfmodel.Estimate) {}
+
+// servePlanSSE streams progress frames followed by a final result
+// frame. SSE responses are never cache hits (the point is watching the
+// search run) but their results do land in the cache.
+func (s *Server) servePlanSSE(ctx context.Context, w http.ResponseWriter, rq *request, start time.Time) {
+	fl, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	s.reg.Counter(obs.ServeStreamsTotal).Inc()
+	s.reg.Counter(fmt.Sprintf("%s{code=%q}", obs.ServeRequestsTotal, "200")).Inc()
+
+	tr := &sseTracer{w: w, fl: fl}
+	resp, _, err := s.runSearch(ctx, rq, tr)
+
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if err != nil {
+		data, _ := json.Marshal(ErrorResponse{Error: err.Error()})
+		fmt.Fprintf(w, "event: error\ndata: %s\n\n", data)
+	} else {
+		resp.ElapsedMS = msSince(start)
+		data, _ := json.Marshal(resp)
+		fmt.Fprintf(w, "event: result\ndata: %s\n\n", data)
+	}
+	if fl != nil {
+		fl.Flush()
+	}
+}
