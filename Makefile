@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test ci bench-search bench-guard bench-scale bench-serve chaos fuzz-smoke trace-smoke diff-smoke elastic-smoke churn-smoke serve-smoke
+.PHONY: build test ci bench-search bench-guard bench-scale bench-serve bench-hetero chaos fuzz-smoke trace-smoke diff-smoke elastic-smoke churn-smoke serve-smoke hetero-smoke
 
 build:
 	$(GO) build ./...
@@ -26,17 +26,21 @@ test:
 # elastic.Supervise plus randomized churn chaos trials), and the
 # planning-daemon smoke (start acesod, one cold plan, one cache hit
 # that must replay identical bytes, an SSE stream, a /metrics scrape,
-# then a real SIGTERM drain).
+# then a real SIGTERM drain), and the heterogeneous-planning smoke (the
+# mixed-fleet search must keep beating the re-priced class-blind plan
+# with its committed explored counts and plan fingerprint, and a
+# mixed-cluster diff slice must stay violation-free).
 ci: build
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/core/... ./internal/perfmodel/... ./internal/memo/... ./internal/planserver/... ./internal/plancache/... ./internal/obs/...
+	$(GO) test -race ./internal/core/... ./internal/perfmodel/... ./internal/memo/... ./internal/planserver/... ./internal/plancache/... ./internal/obs/... ./internal/hardware/... ./internal/collective/...
 	$(MAKE) fuzz-smoke
 	$(GO) test -run xxx -bench BenchmarkSearchThroughput -benchtime 1x .
 	$(MAKE) bench-guard
 	$(MAKE) trace-smoke
 	$(MAKE) chaos CHAOS_DURATION=10s
 	$(MAKE) diff-smoke
+	$(MAKE) hetero-smoke
 	$(MAKE) elastic-smoke
 	$(MAKE) churn-smoke
 	$(MAKE) serve-smoke
@@ -64,6 +68,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseOpKey -fuzztime=5s ./internal/profiler
 	$(GO) test -fuzz=FuzzOpKeyRoundTrip -fuzztime=5s ./internal/profiler
 	$(GO) test -fuzz=FuzzSearchNeverPanics -fuzztime=5s ./internal/core
+	$(GO) test -fuzz=FuzzRestrictExact -fuzztime=5s ./internal/hardware
 	$(GO) test -fuzz=FuzzCheckpointLoadNeverPanics -fuzztime=5s ./internal/elastic
 	$(GO) test -fuzz=FuzzChurnEventsNeverPanic -fuzztime=5s ./internal/elastic
 
@@ -86,6 +91,20 @@ elastic-smoke:
 CHURN_TRIALS ?= 12
 churn-smoke:
 	$(GO) run ./cmd/acesobench -churn-trials $(CHURN_TRIALS) -churnfile /tmp/aceso_ci_churn.json churn
+
+# hetero-smoke guards the heterogeneous planning case study against the
+# committed BENCH_hetero.json: the mixed-fleet search's explored counts
+# and chosen-plan fingerprint must match exactly, the hetero-aware plan
+# must strictly beat the best class-blind plan re-priced on the mixed
+# fleet, and a short mixed-cluster diffcheck slice must come back with
+# zero violations. Part of ci.
+hetero-smoke:
+	$(GO) run ./cmd/acesobench -guard hetero
+
+# bench-hetero re-runs the heterogeneous planning case study and
+# rewrites BENCH_hetero.json.
+bench-hetero:
+	$(GO) run ./cmd/acesobench hetero
 
 # chaos runs the fault-injection harness (internal/chaos) for a short
 # wall budget; it exits non-zero on any panic, invalid plan or

@@ -69,6 +69,9 @@ type (
 	// SearchError is a typed per-worker failure (panic or initializer
 	// error) reported in Result.Diagnostics.
 	SearchError = core.SearchError
+	// DeviceClass describes one device generation of a heterogeneous
+	// cluster (per-class FLOPS, utilization, memory, link overrides).
+	DeviceClass = hardware.DeviceClass
 	// FaultSpec describes a degraded cluster: dead devices, per-device
 	// FLOPS/memory deratings, and derated links.
 	FaultSpec = hardware.FaultSpec
@@ -110,6 +113,13 @@ var (
 	DeepTransformer = model.DeepTransformer
 	// DGX1V100 builds an n-node cluster of 8×V100-32GB servers.
 	DGX1V100 = hardware.DGX1V100
+	// A100V100 builds a mixed fleet: a A100 nodes then v V100 nodes.
+	A100V100 = hardware.A100V100
+	// Mixed builds a heterogeneous cluster from a per-node class layout.
+	Mixed = hardware.Mixed
+	// A100Class/V100Class are the canonical device-class descriptions.
+	A100Class = hardware.A100Class
+	V100Class = hardware.V100Class
 )
 
 // Initial-configuration builders.

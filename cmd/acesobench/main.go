@@ -44,6 +44,17 @@
 // metrics) plus one BENCH_diff_repro_NNN.json per shrunken violation,
 // and exits non-zero on any invariant violation.
 //
+// The extra target "hetero" (not part of "all") runs the heterogeneous
+// planning case study: a fixed-iteration search of GPT-3 1.3B on a
+// mixed A100+V100 fleet against the best class-blind plan re-priced on
+// the same fleet (plus homogeneous all-A100/all-V100 baselines), and a
+// mixed-cluster slice of the differential validation. It writes
+// BENCH_hetero.json (see -heterofile) and exits non-zero if the
+// hetero-aware plan does not strictly beat the class-blind one or any
+// diff tuple violates an invariant; with -guard it checks the
+// committed file instead — explored counts and the chosen plan's
+// fingerprint must match exactly.
+//
 // The extra target "elastic" (not part of "all") runs the elastic
 // training runtime end to end — train, kill a device mid-iteration,
 // Replan on the degraded cluster, reshard the last checkpoint, resume
@@ -86,6 +97,7 @@ import (
 	"aceso/internal/hardware"
 	"aceso/internal/model"
 	"aceso/internal/obs"
+	"aceso/internal/perfmodel"
 	art "aceso/internal/runtime"
 	"aceso/internal/tensor"
 )
@@ -454,6 +466,201 @@ func runDiff(outFile string, trials int, seed int64, effectsOn bool, w io.Writer
 	}
 	fmt.Fprintf(w, "diff: report → %s\n", outFile)
 	return violations, nil
+}
+
+// heteroBenchFile is the BENCH_hetero.json schema: the heterogeneous
+// planning case study (mixed A100+V100 fleet vs the best class-blind
+// plan re-priced on the same fleet, with homogeneous baselines for
+// context) plus the hetero slice of the differential smoke. The
+// search is fully deterministic — iteration-bounded, fixed seed — so
+// explored counts, plan shapes and iteration times are all exact
+// fingerprints a -guard run can compare against.
+type heteroBenchFile struct {
+	Setting        string  `json:"setting"`
+	Seed           int64   `json:"seed"`
+	HeteroIterTime float64 `json:"hetero_iter_time_s"`
+	HeteroExplored int     `json:"hetero_explored"`
+	HeteroPlan     string  `json:"hetero_plan"`
+	BlindIterTime  float64 `json:"blind_iter_time_s"` // best blind plan re-priced on the mixed fleet
+	BlindExplored  int     `json:"blind_explored"`
+	BlindFeasible  int     `json:"blind_feasible_plans"`
+	Speedup        float64 `json:"speedup"` // blind / hetero iteration time
+	AllA100Time    float64 `json:"all_a100_iter_time_s"`
+	AllV100Time    float64 `json:"all_v100_iter_time_s"`
+	DiffTrials     int     `json:"diff_trials"`
+	DiffViolations int     `json:"diff_violations"`
+}
+
+// planFingerprint renders a configuration's shape as a stable string —
+// stage boundaries and device counts — so plan drift (as opposed to
+// mere cost drift) is directly visible in the guard diff.
+func planFingerprint(cfg *config.Config) string {
+	if cfg == nil {
+		return "none"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "mb%d", cfg.MicroBatch)
+	for _, st := range cfg.Stages {
+		fmt.Fprintf(&b, ";%d-%d/%dd", st.Start, st.End, st.Devices)
+	}
+	return b.String()
+}
+
+// runHeteroBench runs the heterogeneous planning case study: a
+// fixed-iteration search of GPT-3 1.3B on one A100 node + one V100
+// node, against (a) a class-blind search over the same scalar envelope
+// whose candidates are re-priced under the true mixed model — the
+// penalty a homogeneous planner pays on a real mixed fleet — and
+// (b) homogeneous all-A100 / all-V100 fleets for context. It then runs
+// the hetero slice of the differential validation (every tuple on a
+// mixed-class cluster) with a zero-violation gate. With guard set the
+// committed file is checked instead of rewritten: explored counts and
+// the plan fingerprint must match exactly, and the hetero plan must
+// still strictly beat the blind one.
+func runHeteroBench(outFile string, guardMode bool, diffTrials int, seed int64, w io.Writer) error {
+	g, err := model.GPT3("1.3B")
+	if err != nil {
+		return err
+	}
+	mixed := hardware.A100V100(1, 1) // 8×A100-80GB + 8×V100-32GB
+	opts := core.Options{
+		TimeBudget:    time.Hour, // iterations are the binding limit
+		MaxIterations: 4,
+		StageCounts:   []int{2, 4},
+		Seed:          seed,
+	}
+	hetero, err := core.Search(g, mixed, opts)
+	if err != nil {
+		return err
+	}
+	if !hetero.Best.Estimate.Feasible {
+		return fmt.Errorf("hetero search found no feasible plan")
+	}
+
+	// Class-blind: identical envelope, class table stripped — every
+	// device looks like a full-speed A100 — then every candidate is
+	// re-priced under the true mixed model.
+	blind := mixed
+	blind.Classes = nil
+	blind.NodeClass = nil
+	blindRes, err := core.Search(g, blind, opts)
+	if err != nil {
+		return err
+	}
+	truth := perfmodel.New(g, mixed, seed)
+	blindTime, blindFeasible := 0.0, 0
+	for _, cand := range append([]core.Candidate{blindRes.Best}, blindRes.TopK...) {
+		if cand.Config == nil {
+			continue
+		}
+		est := truth.Estimate(cand.Config)
+		if !est.Feasible {
+			continue
+		}
+		blindFeasible++
+		if blindTime == 0 || est.IterTime < blindTime {
+			blindTime = est.IterTime
+		}
+	}
+	if blindFeasible == 0 {
+		return fmt.Errorf("no class-blind plan is feasible on the mixed fleet; the strict comparison is vacuous")
+	}
+
+	homTime := func(cl hardware.Cluster) (float64, error) {
+		res, err := core.Search(g, cl, opts)
+		if err != nil {
+			return 0, err
+		}
+		if !res.Best.Estimate.Feasible {
+			return 0, fmt.Errorf("no feasible plan")
+		}
+		return res.Best.Estimate.IterTime, nil
+	}
+	a100Time, err := homTime(hardware.A100V100(2, 0))
+	if err != nil {
+		return fmt.Errorf("all-A100 baseline: %w", err)
+	}
+	v100Time, err := homTime(hardware.A100V100(0, 2))
+	if err != nil {
+		return fmt.Errorf("all-V100 baseline: %w", err)
+	}
+
+	fmt.Fprintf(w, "hetero: mixed-aware %.4fs (explored %d, plan %s)\n",
+		hetero.Best.Estimate.IterTime, hetero.Explored, planFingerprint(hetero.Best.Config))
+	fmt.Fprintf(w, "hetero: class-blind %.4fs re-priced (explored %d, %d/%d plans feasible) — speedup %.3fx\n",
+		blindTime, blindRes.Explored, blindFeasible, 1+len(blindRes.TopK),
+		blindTime/hetero.Best.Estimate.IterTime)
+	fmt.Fprintf(w, "hetero: homogeneous baselines: all-A100 %.4fs, all-V100 %.4fs\n", a100Time, v100Time)
+	if hetero.Best.Estimate.IterTime >= blindTime {
+		return fmt.Errorf("hetero-aware plan (%.6fs) does not strictly beat the best class-blind plan (%.6fs)",
+			hetero.Best.Estimate.IterTime, blindTime)
+	}
+
+	// Hetero diff slice: every tuple on a mixed-class cluster; the
+	// class-aware model and simulator must agree with zero violations.
+	rep := diffcheck.Run(diffcheck.Options{
+		Trials:    diffTrials,
+		Seed:      seed,
+		Generator: diffcheck.RandomHeteroTuple,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(w, format+"\n", args...)
+		},
+	})
+	fmt.Fprint(w, rep.Summary())
+	if rep.Failed() {
+		return fmt.Errorf("%d hetero diff violations", len(rep.Violations))
+	}
+
+	out := heteroBenchFile{
+		Setting: fmt.Sprintf("GPT-3 1.3B on 8×A100-80GB + 8×V100-32GB, %d iterations, stage counts {2,4}, seed %d",
+			opts.MaxIterations, seed),
+		Seed:           seed,
+		HeteroIterTime: hetero.Best.Estimate.IterTime,
+		HeteroExplored: hetero.Explored,
+		HeteroPlan:     planFingerprint(hetero.Best.Config),
+		BlindIterTime:  blindTime,
+		BlindExplored:  blindRes.Explored,
+		BlindFeasible:  blindFeasible,
+		Speedup:        blindTime / hetero.Best.Estimate.IterTime,
+		AllA100Time:    a100Time,
+		AllV100Time:    v100Time,
+		DiffTrials:     rep.Trials,
+		DiffViolations: len(rep.Violations),
+	}
+
+	if guardMode {
+		raw, err := os.ReadFile(outFile)
+		if err != nil {
+			return fmt.Errorf("no committed benchmark to guard against: %w", err)
+		}
+		var rec heteroBenchFile
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return err
+		}
+		switch {
+		case out.HeteroExplored != rec.HeteroExplored:
+			return fmt.Errorf("hetero explored %d, recorded %d — the search is no longer bit-identical",
+				out.HeteroExplored, rec.HeteroExplored)
+		case out.BlindExplored != rec.BlindExplored:
+			return fmt.Errorf("class-blind explored %d, recorded %d — the homogeneous search drifted",
+				out.BlindExplored, rec.BlindExplored)
+		case out.HeteroPlan != rec.HeteroPlan:
+			return fmt.Errorf("hetero plan %q, recorded %q — the chosen plan drifted",
+				out.HeteroPlan, rec.HeteroPlan)
+		}
+		fmt.Fprintf(w, "guard: ok — explored counts and plan match %s\n", outFile)
+		return nil
+	}
+
+	raw, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outFile, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "hetero: report → %s\n", outFile)
+	return nil
 }
 
 // elasticBenchFile is the BENCH_elastic.json schema: the measured
@@ -872,6 +1079,8 @@ func main() {
 	elasticTrials := flag.Int("elastic-trials", chaos.DefaultElasticTrials, "randomized chaos trials for the elastic target")
 	churnFile := flag.String("churnfile", "BENCH_churn.json", "output path for the churn target's report")
 	churnTrials := flag.Int("churn-trials", chaos.DefaultChurnTrials, "randomized chaos trials for the churn target")
+	heteroFile := flag.String("heterofile", "BENCH_hetero.json", "output path for the hetero target's report")
+	heteroDiffTrials := flag.Int("hetero-diff-trials", 512, "randomized mixed-cluster tuples for the hetero target's diff slice")
 	serveFile := flag.String("servefile", "BENCH_serve.json", "output path for the serve target's report")
 	serveReqs := flag.Int("serve-requests", 1200, "load-phase requests for the serve target")
 	serveClients := flag.Int("serve-clients", 32, "concurrent client workers for the serve target")
@@ -1153,6 +1362,15 @@ func main() {
 		}
 		if violations > 0 {
 			fail("diff", fmt.Errorf("%d invariant violations (repro files written)", violations))
+		}
+		fmt.Fprintln(w)
+	}
+
+	if want["hetero"] { // deliberately not part of "all"
+		fmt.Fprintf(w, "running heterogeneous planning case study (+%d mixed-cluster diff trials, seed %d)...\n",
+			*heteroDiffTrials, *seed)
+		if err := runHeteroBench(*heteroFile, *guard, *heteroDiffTrials, *seed, w); err != nil {
+			fail("hetero", err)
 		}
 		fmt.Fprintln(w)
 	}

@@ -230,7 +230,17 @@ func randomGraph(rng *rand.Rand) *model.Graph {
 // spec and occasionally corrupted outright (which Validate must catch).
 func randomCluster(rng *rand.Rand) (cl hardware.Cluster, degraded bool) {
 	devices := 1 << rng.Intn(5) // 1..16
-	cl = hardware.DGX1V100((devices + 7) / 8).Restrict(devices)
+	if rng.Intn(4) == 0 {
+		// Mixed fleet: random per-node A100/V100 layout, hit with the
+		// same corruption and fault machinery as the homogeneous shape.
+		nodeClass := make([]int, (devices+7)/8)
+		for i := range nodeClass {
+			nodeClass[i] = rng.Intn(2)
+		}
+		cl = hardware.Mixed(8, nodeClass, hardware.A100Class(), hardware.V100Class()).Restrict(devices)
+	} else {
+		cl = hardware.DGX1V100((devices + 7) / 8).Restrict(devices)
+	}
 	switch rng.Intn(8) {
 	case 0: // corrupted description — typed rejection expected
 		cl.MemoryBytes = pick(rng, math.NaN(), math.Inf(1), -1, 0)

@@ -49,13 +49,63 @@ func linkOf(c *hardware.Cluster, p Placement) (bw, lat float64) {
 	return c.EffIntraBW(), c.EffIntraLat()
 }
 
+// GroupLink prices the link a contiguous device range communicates
+// over: on a homogeneous cluster it is linkOf; on a heterogeneous one
+// a ring is bottlenecked by its slowest member, so the bandwidth is
+// the minimum and the latency the maximum over the group's classes,
+// composed with the cluster-wide fault-spec link derates the same way
+// EffIntraBW composes them with the scalars.
+func GroupLink(c *hardware.Cluster, first, size int, p Placement) (bw, lat float64) {
+	if len(c.Classes) == 0 {
+		return linkOf(c, p)
+	}
+	if size < 1 {
+		size = 1
+	}
+	ibwS, xbwS, ilatS, xlatS := c.LinkFaultScales()
+	if p == InterNode {
+		bw, lat = c.DeviceInterBW(first), c.DeviceInterLat(first)
+		for d := first + 1; d < first+size; d++ {
+			if v := c.DeviceInterBW(d); v < bw {
+				bw = v
+			}
+			if v := c.DeviceInterLat(d); v > lat {
+				lat = v
+			}
+		}
+		return bw * xbwS, lat * xlatS
+	}
+	bw, lat = c.DeviceIntraBW(first), c.DeviceIntraLat(first)
+	for d := first + 1; d < first+size; d++ {
+		if v := c.DeviceIntraBW(d); v < bw {
+			bw = v
+		}
+		if v := c.DeviceIntraLat(d); v > lat {
+			lat = v
+		}
+	}
+	return bw * ibwS, lat * ilatS
+}
+
 // AllReduce returns the time (seconds) for a ring all-reduce of `bytes`
-// over a group of `size` devices with the given placement.
+// over a group of `size` devices with the given placement, priced at
+// the cluster-wide link.
 func AllReduce(c *hardware.Cluster, bytes float64, size int, p Placement) float64 {
+	bw, lat := linkOf(c, p)
+	return allReduceOn(bw, lat, bytes, size)
+}
+
+// AllReduceAt is AllReduce priced at the link of the device range
+// starting at first — the slowest class in the group on a mixed fleet.
+func AllReduceAt(c *hardware.Cluster, bytes float64, first, size int, p Placement) float64 {
+	bw, lat := GroupLink(c, first, size, p)
+	return allReduceOn(bw, lat, bytes, size)
+}
+
+func allReduceOn(bw, lat, bytes float64, size int) float64 {
 	if size <= 1 || bytes <= 0 {
 		return 0
 	}
-	bw, lat := linkOf(c, p)
 	g := float64(size)
 	return 2*(g-1)/g*bytes/bw + 2*(g-1)*lat
 }
@@ -63,10 +113,21 @@ func AllReduce(c *hardware.Cluster, bytes float64, size int, p Placement) float6
 // AllGather returns the time for a ring all-gather where every rank
 // ends with `bytes` total (i.e. each contributes bytes/size).
 func AllGather(c *hardware.Cluster, bytes float64, size int, p Placement) float64 {
+	bw, lat := linkOf(c, p)
+	return allGatherOn(bw, lat, bytes, size)
+}
+
+// AllGatherAt is AllGather priced at the link of the device range
+// starting at first.
+func AllGatherAt(c *hardware.Cluster, bytes float64, first, size int, p Placement) float64 {
+	bw, lat := GroupLink(c, first, size, p)
+	return allGatherOn(bw, lat, bytes, size)
+}
+
+func allGatherOn(bw, lat, bytes float64, size int) float64 {
 	if size <= 1 || bytes <= 0 {
 		return 0
 	}
-	bw, lat := linkOf(c, p)
 	g := float64(size)
 	return (g-1)/g*bytes/bw + (g-1)*lat
 }
@@ -77,6 +138,12 @@ func ReduceScatter(c *hardware.Cluster, bytes float64, size int, p Placement) fl
 	return AllGather(c, bytes, size, p)
 }
 
+// ReduceScatterAt is ReduceScatter priced at the link of the device
+// range starting at first.
+func ReduceScatterAt(c *hardware.Cluster, bytes float64, first, size int, p Placement) float64 {
+	return AllGatherAt(c, bytes, first, size, p)
+}
+
 // P2P returns the time to move `bytes` between two devices with the
 // given placement (pipeline-stage boundary send/recv).
 func P2P(c *hardware.Cluster, bytes float64, p Placement) float64 {
@@ -84,5 +151,15 @@ func P2P(c *hardware.Cluster, bytes float64, p Placement) float64 {
 		return 0
 	}
 	bw, lat := linkOf(c, p)
+	return bytes/bw + lat
+}
+
+// P2PAt is P2P priced at the link of the two-device range starting at
+// first (the sender/receiver pair spanning a stage boundary).
+func P2PAt(c *hardware.Cluster, bytes float64, first int, p Placement) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	bw, lat := GroupLink(c, first, 2, p)
 	return bytes/bw + lat
 }

@@ -1,0 +1,118 @@
+package config
+
+import (
+	"fmt"
+
+	"aceso/internal/model"
+)
+
+// OpSplitWeighted partitions the model's operators into len(weights)
+// contiguous ranges whose forward FLOPs are proportional to the
+// weights: stage s targets the fraction weights[s]/Σweights. With
+// uniform weights it reduces exactly to OpSplit. Every range is
+// non-empty; non-positive weights are treated as a minimal share.
+func OpSplitWeighted(g *model.Graph, weights []float64) ([][2]int, error) {
+	n := len(g.Ops)
+	stages := len(weights)
+	if stages <= 0 || n < stages {
+		return nil, fmt.Errorf("config: cannot split %d ops into %d stages", n, stages)
+	}
+	w := make([]float64, stages)
+	var totalW float64
+	for s, v := range weights {
+		if v <= 0 {
+			v = 1e-9
+		}
+		w[s] = v
+		totalW += v
+	}
+	if totalW <= 0 {
+		return OpSplit(g, stages)
+	}
+	prefix := make([]float64, n+1)
+	for i := range g.Ops {
+		prefix[i+1] = prefix[i] + g.Ops[i].FwdFLOPs
+	}
+	// Suffix weight sums: restWeight[s] = Σ_{k ≥ s} w[k], so the target
+	// for stage s is its share of the *remaining* FLOPs — the same
+	// rebalancing-as-we-go scheme OpSplit uses with uniform shares.
+	restWeight := make([]float64, stages+1)
+	for s := stages - 1; s >= 0; s-- {
+		restWeight[s] = restWeight[s+1] + w[s]
+	}
+	out := make([][2]int, 0, stages)
+	start := 0
+	for s := 0; s < stages; s++ {
+		if s == stages-1 {
+			out = append(out, [2]int{start, n})
+			break
+		}
+		target := prefix[start] + (prefix[n]-prefix[start])*w[s]/restWeight[s]
+		end := start + 1
+		maxEnd := n - (stages - s - 1)
+		for end < maxEnd {
+			if prefix[end]-target < target-prefix[end] { // end is left of target
+				end++
+				continue
+			}
+			if prefix[end]-target > target-prefix[end-1] && end-1 > start {
+				end--
+			}
+			break
+		}
+		if end > maxEnd {
+			end = maxEnd
+		}
+		out = append(out, [2]int{start, end})
+		start = end
+	}
+	return out, nil
+}
+
+// CapacityBalanced returns an initializer for heterogeneous clusters:
+// the device split is Balanced's, but operators are assigned to stages
+// in proportion to the *compute capacity* of the devices each stage
+// lands on — devScale[d] is device d's throughput relative to the best
+// class (hardware.DeviceFLOPSScale), so fast classes attract
+// compute-heavy stages from the very first candidate. Devices beyond
+// len(devScale) count as full-speed. With uniform scales the result is
+// identical to Balanced.
+func CapacityBalanced(devScale []float64) func(g *model.Graph, totalDevices, stages, microBatch int) (*Config, error) {
+	return func(g *model.Graph, totalDevices, stages, microBatch int) (*Config, error) {
+		devs, err := DeviceSplit(totalDevices, stages)
+		if err != nil {
+			return nil, err
+		}
+		weights := make([]float64, stages)
+		first := 0
+		for s := 0; s < stages; s++ {
+			var cap float64
+			for d := first; d < first+devs[s]; d++ {
+				if d < len(devScale) && devScale[d] > 0 {
+					cap += devScale[d]
+				} else {
+					cap += 1
+				}
+			}
+			weights[s] = cap
+			first += devs[s]
+		}
+		ranges, err := OpSplitWeighted(g, weights)
+		if err != nil {
+			return nil, err
+		}
+		c := &Config{MicroBatch: microBatch, Stages: make([]Stage, stages)}
+		for s := 0; s < stages; s++ {
+			st := Stage{Start: ranges[s][0], End: ranges[s][1], Devices: devs[s]}
+			st.Ops = make([]OpSetting, st.NumOps())
+			for j := range st.Ops {
+				st.Ops[j] = OpSetting{TP: devs[s], DP: 1, Dim: 0}
+			}
+			c.Stages[s] = st
+		}
+		if err := c.Validate(g, totalDevices); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+}

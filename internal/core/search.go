@@ -222,7 +222,21 @@ func SearchContext(ctx context.Context, g *model.Graph, cl hardware.Cluster, opt
 	if err := cl.Validate(); err != nil {
 		return nil, err
 	}
+	userInit := opts.Initializer
 	opts = opts.withDefaults()
+	if userInit == nil && len(cl.Classes) > 0 {
+		// Heterogeneity-aware default start: on a mixed fleet the
+		// FLOPs-uniform Balanced split parks half the model on the slow
+		// class; seed each pipeline with operator shares proportional
+		// to per-device capacity instead (class × fault derates at the
+		// graph's precision). Gated strictly on device classes so
+		// homogeneous searches — faulted or not — stay bit-identical.
+		scales := make([]float64, cl.TotalDevices())
+		for d := range scales {
+			scales[d] = cl.DeviceFLOPSScale(d, g.Precision)
+		}
+		opts.Initializer = config.CapacityBalanced(scales)
+	}
 	start := time.Now()
 	deadline := start.Add(opts.TimeBudget)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {

@@ -25,6 +25,10 @@ type Options struct {
 	// Metrics, when non-nil, accumulates trial/violation/shrink
 	// counters (violations labeled by kind).
 	Metrics *obs.Registry
+	// Generator draws each trial's tuple (RandomTuple when nil). Pass
+	// RandomHeteroTuple to restrict the run to mixed-class clusters —
+	// the hetero slice of the diff smoke.
+	Generator func(rng *rand.Rand) Tuple
 	// Log, when non-nil, receives one line per trial batch.
 	Log func(format string, args ...any)
 }
@@ -100,6 +104,10 @@ func Run(o Options) *Report {
 		trials = DefaultTrials
 	}
 	rep := &Report{Trials: trials, EffectsOn: o.EffectsOn}
+	gen := o.Generator
+	if gen == nil {
+		gen = RandomTuple
+	}
 
 	var mTrials, mShrink *obs.Counter
 	if o.Metrics != nil {
@@ -117,7 +125,7 @@ func Run(o Options) *Report {
 	for i := 0; i < trials; i++ {
 		seed := TrialSeed(o.Seed, i)
 		rng := rand.New(rand.NewSource(seed))
-		t := RandomTuple(rng)
+		t := gen(rng)
 		findings, band := Check(&t, o.EffectsOn)
 		if mTrials != nil {
 			mTrials.Inc()

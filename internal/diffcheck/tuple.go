@@ -49,8 +49,11 @@ type Tuple struct {
 
 	// Cluster shape: Devices healthy V100s, optionally degraded by
 	// Fault (dead devices shrink the logical cluster; deratings shrink
-	// per-stage CapMem).
+	// per-stage CapMem). Hetero, when non-empty, switches to a mixed
+	// A100+V100 fleet instead: one entry per 8-device node, 0 = A100,
+	// 1 = V100, restricted to exactly Devices devices.
 	Devices int                 `json:"devices"`
+	Hetero  []int               `json:"hetero,omitempty"`
 	Fault   *hardware.FaultSpec `json:"fault,omitempty"`
 
 	// Configuration: a Balanced(stages, micro_batch) start, then
@@ -81,7 +84,15 @@ func (t *Tuple) Build() (*perfmodel.Model, *config.Config, error) {
 	if err := g.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("diffcheck: graph: %w", err)
 	}
-	cl := hardware.DGX1V100((t.Devices + 7) / 8).Restrict(t.Devices)
+	var cl hardware.Cluster
+	if len(t.Hetero) > 0 {
+		cl = hardware.Mixed(8, t.Hetero, hardware.A100Class(), hardware.V100Class()).Restrict(t.Devices)
+	} else {
+		cl = hardware.DGX1V100((t.Devices + 7) / 8).Restrict(t.Devices)
+	}
+	if err := cl.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("diffcheck: cluster: %w", err)
+	}
 	if t.Fault != nil {
 		deg, err := cl.Degrade(*t.Fault)
 		if err != nil {
@@ -169,6 +180,15 @@ func RandomTuple(rng *rand.Rand) Tuple {
 		if rng.Intn(2) == 0 {
 			t.MutSeed = rng.Int63()
 		}
+		if rng.Intn(4) == 0 {
+			// Mixed fleet: random per-node class assignment over the
+			// nodes the device count needs.
+			nodes := (t.Devices + 7) / 8
+			t.Hetero = make([]int, nodes)
+			for i := range t.Hetero {
+				t.Hetero[i] = rng.Intn(2)
+			}
+		}
 		if rng.Intn(3) == 0 {
 			spec := chaos.RandomValidFaultSpec(rng, t.Devices)
 			if len(spec.Devices) > 0 || spec.InterBWScale != 0 {
@@ -176,6 +196,37 @@ func RandomTuple(rng *rand.Rand) Tuple {
 			}
 		}
 		if _, _, err := t.Build(); err == nil {
+			return t
+		}
+	}
+}
+
+// RandomHeteroTuple draws a buildable tuple guaranteed to sit on a
+// mixed-class cluster — the hetero slice of the diff smoke, where the
+// class-aware model and simulator must agree with zero violations.
+func RandomHeteroTuple(rng *rand.Rand) Tuple {
+	for {
+		t := RandomTuple(rng)
+		if len(t.Hetero) == 0 {
+			nodes := (t.Devices + 7) / 8
+			t.Hetero = make([]int, nodes)
+			for i := range t.Hetero {
+				t.Hetero[i] = rng.Intn(2)
+			}
+			if _, _, err := t.Build(); err != nil {
+				continue
+			}
+		}
+		hasBoth := false
+		for _, k := range t.Hetero {
+			if k != t.Hetero[0] {
+				hasBoth = true
+			}
+		}
+		// Single-node (or single-class) layouts are still heterogeneous
+		// in the model's eyes only when both classes appear; bias toward
+		// genuinely mixed fleets but keep uniform-class layouts too.
+		if hasBoth || rng.Intn(4) == 0 {
 			return t
 		}
 	}

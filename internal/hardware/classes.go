@@ -1,0 +1,273 @@
+// Heterogeneous device classes: real fleets mix accelerator
+// generations (A100 + V100 pools, spot capacity from an older SKU) and
+// the planner must price each pipeline stage at the capability of the
+// devices it actually lands on, not a cluster-wide scalar
+// (TensorOpt's cost–memory frontier argument; PipeDream's non-uniform
+// stage/device assignment).
+//
+// Representation: the Cluster keeps its scalar fields as a *reference
+// envelope* — the best class, the figure the profiler's roofline uses
+// — and every DeviceClass expresses its capability relative to that
+// envelope. A slower class is therefore a *derate*, exactly like a
+// fault-spec FLOPSScale, so class and fault effects compose by
+// multiplication in the same accessors (DeviceFLOPSScale,
+// RangeMemory, …) and every consumer of those accessors becomes
+// class-aware for free. Validate enforces the envelope invariant
+// (no class exceeds the scalars), which keeps every scale in (0, 1].
+package hardware
+
+import "fmt"
+
+// DeviceClass describes one device generation in a heterogeneous
+// cluster: per-class throughput, utilization ceiling and memory, plus
+// optional link overrides for classes wired differently (0 inherits
+// the cluster scalar).
+type DeviceClass struct {
+	Name string
+
+	// Peak per-device throughput in FLOP/s by precision.
+	FP16FLOPS float64
+	FP32FLOPS float64
+	// MaxUtil is the class's achievable fraction of peak.
+	MaxUtil float64
+	// MemoryBytes is the class's per-device memory capacity.
+	MemoryBytes float64
+
+	// Link overrides; 0 means "inherit the cluster scalar". A group's
+	// links are priced from its slowest member class (min bandwidth,
+	// max latency — see DeviceIntraBW and collective.GroupLink).
+	IntraBW  float64
+	InterBW  float64
+	IntraLat float64
+	InterLat float64
+}
+
+// PeakFLOPS returns the class's peak throughput for a precision.
+func (d *DeviceClass) PeakFLOPS(p Precision) float64 {
+	if p == FP32 {
+		return d.FP32FLOPS
+	}
+	return d.FP16FLOPS
+}
+
+// A100Class is the canonical A100-80GB description (SXM: 312 TFLOPS
+// fp16, 19.5 fp32, NVLink3).
+func A100Class() DeviceClass {
+	return DeviceClass{
+		Name:        "a100",
+		FP16FLOPS:   312e12,
+		FP32FLOPS:   19.5e12,
+		MaxUtil:     0.5,
+		MemoryBytes: 80 * (1 << 30),
+		IntraBW:     300e9,
+		InterBW:     12.5e9,
+		IntraLat:    4e-6,
+		InterLat:    20e-6,
+	}
+}
+
+// V100Class is the canonical V100-32GB description, matching the
+// DGX1V100 scalars.
+func V100Class() DeviceClass {
+	return DeviceClass{
+		Name:        "v100",
+		FP16FLOPS:   125e12,
+		FP32FLOPS:   15.7e12,
+		MaxUtil:     0.55,
+		MemoryBytes: 32 * (1 << 30),
+		IntraBW:     130e9,
+		InterBW:     12.5e9,
+		IntraLat:    5e-6,
+		InterLat:    20e-6,
+	}
+}
+
+// Mixed builds a heterogeneous cluster of len(nodeClass) nodes with
+// devicesPerNode devices each; nodeClass[i] indexes into classes. The
+// scalar fields are set to the per-field envelope (max over classes),
+// so every class scale lies in (0, 1] and Validate's envelope
+// invariant holds by construction.
+func Mixed(devicesPerNode int, nodeClass []int, classes ...DeviceClass) Cluster {
+	c := Cluster{
+		Nodes:          len(nodeClass),
+		DevicesPerNode: devicesPerNode,
+		Classes:        append([]DeviceClass(nil), classes...),
+		NodeClass:      append([]int(nil), nodeClass...),
+	}
+	for i := range classes {
+		cl := &classes[i]
+		c.FP16FLOPS = maxf(c.FP16FLOPS, cl.FP16FLOPS)
+		c.FP32FLOPS = maxf(c.FP32FLOPS, cl.FP32FLOPS)
+		c.MaxUtil = maxf(c.MaxUtil, cl.MaxUtil)
+		c.MemoryBytes = maxf(c.MemoryBytes, cl.MemoryBytes)
+		c.IntraBW = maxf(c.IntraBW, cl.IntraBW)
+		c.InterBW = maxf(c.InterBW, cl.InterBW)
+		c.IntraLat = maxf(c.IntraLat, cl.IntraLat)
+		c.InterLat = maxf(c.InterLat, cl.InterLat)
+	}
+	return c
+}
+
+// A100V100 builds the canonical mixed fleet: a100Nodes DGX-A100-like
+// nodes followed by v100Nodes DGX-1-like nodes, 8 devices each. The
+// A100 nodes come first, so low device ranks are the fast ones —
+// pipeline stage 0 lands on A100s.
+func A100V100(a100Nodes, v100Nodes int) Cluster {
+	nodeClass := make([]int, a100Nodes+v100Nodes)
+	for i := a100Nodes; i < len(nodeClass); i++ {
+		nodeClass[i] = 1
+	}
+	return Mixed(8, nodeClass, A100Class(), V100Class())
+}
+
+func maxf(a, b float64) float64 {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// validateClasses checks the class table and per-node layout against
+// the scalar envelope. Errors name the offending class or node.
+func (c *Cluster) validateClasses() error {
+	if len(c.Classes) == 0 {
+		if len(c.NodeClass) > 0 {
+			return fmt.Errorf("hardware: NodeClass set on a cluster without device classes")
+		}
+		return nil
+	}
+	if len(c.NodeClass) != c.Nodes {
+		return fmt.Errorf("hardware: NodeClass has %d entries for %d nodes", len(c.NodeClass), c.Nodes)
+	}
+	for i := range c.Classes {
+		d := &c.Classes[i]
+		switch {
+		case !finite(d.FP16FLOPS) || !finite(d.FP32FLOPS) || d.FP16FLOPS <= 0 || d.FP32FLOPS <= 0:
+			return fmt.Errorf("hardware: class %d (%s): non-positive or non-finite FLOPS", i, d.Name)
+		case !finite(d.MaxUtil) || d.MaxUtil <= 0 || d.MaxUtil > 1:
+			return fmt.Errorf("hardware: class %d (%s): MaxUtil = %v, want (0, 1]", i, d.Name, d.MaxUtil)
+		case !finite(d.MemoryBytes) || d.MemoryBytes <= 0:
+			return fmt.Errorf("hardware: class %d (%s): non-positive or non-finite MemoryBytes", i, d.Name)
+		case !finite(d.IntraBW) || !finite(d.InterBW) || d.IntraBW < 0 || d.InterBW < 0:
+			return fmt.Errorf("hardware: class %d (%s): negative or non-finite link bandwidth override", i, d.Name)
+		case !finite(d.IntraLat) || !finite(d.InterLat) || d.IntraLat < 0 || d.InterLat < 0:
+			return fmt.Errorf("hardware: class %d (%s): negative or non-finite link latency override", i, d.Name)
+		}
+		// Envelope invariant: no class exceeds the scalar fields, so
+		// every class scale is a true derate in (0, 1].
+		if d.FP16FLOPS*d.MaxUtil > c.FP16FLOPS*c.MaxUtil ||
+			d.FP32FLOPS*d.MaxUtil > c.FP32FLOPS*c.MaxUtil {
+			return fmt.Errorf("hardware: class %d (%s) exceeds the cluster throughput envelope", i, d.Name)
+		}
+		if d.MemoryBytes > c.MemoryBytes {
+			return fmt.Errorf("hardware: class %d (%s) MemoryBytes %v exceeds the cluster envelope %v",
+				i, d.Name, d.MemoryBytes, c.MemoryBytes)
+		}
+	}
+	for n, k := range c.NodeClass {
+		if k < 0 || k >= len(c.Classes) {
+			return fmt.Errorf("hardware: node %d has class %d, want [0, %d)", n, k, len(c.Classes))
+		}
+	}
+	return nil
+}
+
+// ClassOf returns the device class of a logical rank, or nil on a
+// homogeneous cluster.
+func (c *Cluster) ClassOf(logical int) *DeviceClass {
+	if len(c.Classes) == 0 {
+		return nil
+	}
+	n := c.NodeOf(logical)
+	if n < 0 || n >= len(c.NodeClass) {
+		return nil
+	}
+	return &c.Classes[c.NodeClass[n]]
+}
+
+// classComputeScale returns the throughput derate of a logical rank's
+// class relative to the scalar envelope at precision p (1 on a
+// homogeneous cluster). Effective throughput is peak × utilization:
+// two classes with equal peaks but different achievable utilization
+// still run at different speeds.
+func (c *Cluster) classComputeScale(logical int, p Precision) float64 {
+	d := c.ClassOf(logical)
+	if d == nil {
+		return 1
+	}
+	ref := c.PeakFLOPS(p) * c.MaxUtil
+	if ref <= 0 {
+		return 1
+	}
+	return clampScale(d.PeakFLOPS(p) * d.MaxUtil / ref)
+}
+
+// classMemory returns the per-device memory of a logical rank's class
+// (the cluster scalar on a homogeneous cluster), before fault derates.
+func (c *Cluster) classMemory(logical int) float64 {
+	if d := c.ClassOf(logical); d != nil {
+		return d.MemoryBytes
+	}
+	return c.MemoryBytes
+}
+
+// DeviceIntraBW returns the intra-node bandwidth of a logical rank's
+// class before fault derates (the cluster scalar when the class has no
+// override or the cluster is homogeneous).
+func (c *Cluster) DeviceIntraBW(logical int) float64 {
+	if d := c.ClassOf(logical); d != nil && d.IntraBW > 0 {
+		return d.IntraBW
+	}
+	return c.IntraBW
+}
+
+// DeviceInterBW is DeviceIntraBW for the inter-node link.
+func (c *Cluster) DeviceInterBW(logical int) float64 {
+	if d := c.ClassOf(logical); d != nil && d.InterBW > 0 {
+		return d.InterBW
+	}
+	return c.InterBW
+}
+
+// DeviceIntraLat returns the intra-node hop latency of a logical
+// rank's class before fault derates.
+func (c *Cluster) DeviceIntraLat(logical int) float64 {
+	if d := c.ClassOf(logical); d != nil && d.IntraLat > 0 {
+		return d.IntraLat
+	}
+	return c.IntraLat
+}
+
+// DeviceInterLat is DeviceIntraLat for the inter-node link.
+func (c *Cluster) DeviceInterLat(logical int) float64 {
+	if d := c.ClassOf(logical); d != nil && d.InterLat > 0 {
+		return d.InterLat
+	}
+	return c.InterLat
+}
+
+// LinkFaultScales returns the cluster-wide link derates of the
+// attached fault spec as plain multipliers (all 1 when healthy):
+// bandwidth scales in (0, 1], latency scales ≥ 1. Group-range link
+// pricing (collective.GroupLink) composes these with the per-class
+// link parameters the same way EffIntraBW composes them with the
+// scalars.
+func (c *Cluster) LinkFaultScales() (intraBW, interBW, intraLat, interLat float64) {
+	intraBW, interBW, intraLat, interLat = 1, 1, 1, 1
+	if c.Faults == nil {
+		return
+	}
+	if c.Faults.IntraBWScale != 0 {
+		intraBW = clampScale(c.Faults.IntraBWScale)
+	}
+	if c.Faults.InterBWScale != 0 {
+		interBW = clampScale(c.Faults.InterBWScale)
+	}
+	if c.Faults.IntraLatScale != 0 {
+		intraLat = c.Faults.IntraLatScale
+	}
+	if c.Faults.InterLatScale != 0 {
+		interLat = c.Faults.InterLatScale
+	}
+	return
+}

@@ -12,7 +12,9 @@
 // attaches a normalized, read-only copy to the returned Cluster. All
 // per-device accessors (RangeFLOPSScale, RangeMemory, NodeOf, …) take
 // *logical* ranks — survivors renumbered contiguously — and map to the
-// physical grid internally. Degrade after Restrict, never before.
+// physical grid internally. Prefer Degrade after Restrict; Restrict
+// after Degrade is also safe — it refits the spec to the new shape,
+// dropping entries whose physical rank no longer exists.
 package hardware
 
 import (
@@ -68,9 +70,12 @@ func latScaleOK(v float64) bool { return v == 0 || (finite(v) && v >= 1) }
 // bwScaleOK reports whether v is a valid bandwidth scale (0 = unchanged).
 func bwScaleOK(v float64) bool { return v == 0 || scaleOK(v) }
 
-// Validate checks the spec against the healthy cluster c.
+// Validate checks the spec against the healthy cluster c. Every error
+// names the offending physical device index (or the specific link
+// scale), so a spec rejected deep inside Cluster.Validate still points
+// at the bad entry.
 func (f *FaultSpec) Validate(c Cluster) error {
-	total := c.Nodes * c.DevicesPerNode
+	total := c.physTotal()
 	seen := make(map[int]bool, len(f.Devices))
 	deadCount := 0
 	for i := range f.Devices {
@@ -96,15 +101,55 @@ func (f *FaultSpec) Validate(c Cluster) error {
 	if deadCount >= total {
 		return fmt.Errorf("hardware: all %d devices dead", total)
 	}
-	if !bwScaleOK(f.IntraBWScale) || !bwScaleOK(f.InterBWScale) {
-		return fmt.Errorf("hardware: bandwidth scale out of (0, 1] (intra %v, inter %v)",
-			f.IntraBWScale, f.InterBWScale)
+	if !bwScaleOK(f.IntraBWScale) {
+		return fmt.Errorf("hardware: IntraBWScale = %v, want 0 (unchanged) or (0, 1]", f.IntraBWScale)
 	}
-	if !latScaleOK(f.IntraLatScale) || !latScaleOK(f.InterLatScale) {
-		return fmt.Errorf("hardware: latency scale must be ≥ 1 (intra %v, inter %v)",
-			f.IntraLatScale, f.InterLatScale)
+	if !bwScaleOK(f.InterBWScale) {
+		return fmt.Errorf("hardware: InterBWScale = %v, want 0 (unchanged) or (0, 1]", f.InterBWScale)
+	}
+	if !latScaleOK(f.IntraLatScale) {
+		return fmt.Errorf("hardware: IntraLatScale = %v, want 0 (unchanged) or ≥ 1", f.IntraLatScale)
+	}
+	if !latScaleOK(f.InterLatScale) {
+		return fmt.Errorf("hardware: InterLatScale = %v, want 0 (unchanged) or ≥ 1", f.InterLatScale)
 	}
 	return nil
+}
+
+// refitFaults rebuilds a normalized fault spec for a cluster reshaped
+// to total physical devices: entries for ranks ≥ total are dropped
+// (those devices no longer exist), in-range entries and link derates
+// are kept. The result is freshly normalized — never the old pointer —
+// so Restrict can't leak a spec whose private index structures were
+// built for the old grid. Returns nil when nothing survives.
+func refitFaults(f *FaultSpec, total int) *FaultSpec {
+	if f == nil {
+		return nil
+	}
+	norm := FaultSpec{
+		IntraBWScale:  f.IntraBWScale,
+		InterBWScale:  f.InterBWScale,
+		IntraLatScale: f.IntraLatScale,
+		InterLatScale: f.InterLatScale,
+		derated:       make(map[int]DeviceFault),
+	}
+	for _, d := range f.Devices {
+		if d.Device < 0 || d.Device >= total {
+			continue
+		}
+		norm.Devices = append(norm.Devices, d)
+		if d.Dead {
+			norm.dead = append(norm.dead, d.Device)
+		} else if d.FLOPSScale < 1 || d.MemScale < 1 {
+			norm.derated[d.Device] = d
+		}
+	}
+	sort.Ints(norm.dead)
+	if len(norm.Devices) == 0 && norm.IntraBWScale == 0 && norm.InterBWScale == 0 &&
+		norm.IntraLatScale == 0 && norm.InterLatScale == 0 {
+		return nil
+	}
+	return &norm
 }
 
 // Degrade applies a fault spec to the cluster: dead devices are removed
@@ -249,32 +294,39 @@ func clampScale(v float64) float64 {
 }
 
 // DeviceFLOPSScale returns the throughput derate of one logical rank
-// (1 = healthy).
-func (c *Cluster) DeviceFLOPSScale(logical int) float64 {
+// relative to the scalar envelope at precision p (1 = healthy,
+// best-class). Class derates (a V100 in an A100-envelope cluster) and
+// fault derates (a throttled device) compose by multiplication: a
+// throttled slow device is slower than either effect alone.
+func (c *Cluster) DeviceFLOPSScale(logical int, p Precision) float64 {
+	s := c.classComputeScale(logical, p)
 	if d := c.deviceFault(logical); d != nil {
-		return clampScale(d.FLOPSScale)
+		s *= clampScale(d.FLOPSScale)
 	}
-	return 1
+	return s
 }
 
-// DeviceMemory returns the usable memory of one logical rank.
+// DeviceMemory returns the usable memory of one logical rank: its
+// class capacity derated by any memory fault.
 func (c *Cluster) DeviceMemory(logical int) float64 {
+	mem := c.classMemory(logical)
 	if d := c.deviceFault(logical); d != nil {
-		return c.MemoryBytes * clampScale(d.MemScale)
+		mem *= clampScale(d.MemScale)
 	}
-	return c.MemoryBytes
+	return mem
 }
 
 // RangeFLOPSScale returns the minimum throughput derate over the
-// logical range [first, first+size): a synchronous group runs at its
-// slowest member's pace.
-func (c *Cluster) RangeFLOPSScale(first, size int) float64 {
-	if c.Faults == nil || len(c.Faults.derated) == 0 {
+// logical range [first, first+size) at precision p: a synchronous
+// group runs at its slowest member's pace, whether that member is slow
+// by class or by fault.
+func (c *Cluster) RangeFLOPSScale(first, size int, p Precision) float64 {
+	if (c.Faults == nil || len(c.Faults.derated) == 0) && len(c.Classes) == 0 {
 		return 1
 	}
 	min := 1.0
 	for d := first; d < first+size; d++ {
-		if s := c.DeviceFLOPSScale(d); s < min {
+		if s := c.DeviceFLOPSScale(d, p); s < min {
 			min = s
 		}
 	}
@@ -283,16 +335,19 @@ func (c *Cluster) RangeFLOPSScale(first, size int) float64 {
 
 // RangeMemory returns the minimum usable memory over the logical range
 // [first, first+size): symmetric stages are sized for their most
-// constrained device.
+// constrained device, by class capacity and fault derate alike.
 func (c *Cluster) RangeMemory(first, size int) float64 {
-	if c.Faults == nil || len(c.Faults.derated) == 0 {
+	if (c.Faults == nil || len(c.Faults.derated) == 0) && len(c.Classes) == 0 {
 		return c.MemoryBytes
 	}
-	min := c.MemoryBytes
+	min := math.Inf(1)
 	for d := first; d < first+size; d++ {
 		if m := c.DeviceMemory(d); m < min {
 			min = m
 		}
+	}
+	if !finite(min) {
+		return c.MemoryBytes
 	}
 	return min
 }

@@ -22,10 +22,10 @@ func TestFaultSpecValidateRejectsBadSpecs(t *testing.T) {
 		{"zero flops scale", FaultSpec{Devices: []DeviceFault{{Device: 0, FLOPSScale: 0, MemScale: 1}}}, "FLOPSScale"},
 		{"nan flops scale", FaultSpec{Devices: []DeviceFault{{Device: 0, FLOPSScale: math.NaN(), MemScale: 1}}}, "FLOPSScale"},
 		{"over-unity mem scale", FaultSpec{Devices: []DeviceFault{{Device: 0, FLOPSScale: 1, MemScale: 1.5}}}, "MemScale"},
-		{"negative bw scale", FaultSpec{InterBWScale: -0.5}, "bandwidth"},
-		{"inf bw scale", FaultSpec{IntraBWScale: math.Inf(1)}, "bandwidth"},
-		{"sub-unity lat scale", FaultSpec{InterLatScale: 0.5}, "latency"},
-		{"nan lat scale", FaultSpec{IntraLatScale: math.NaN()}, "latency"},
+		{"negative bw scale", FaultSpec{InterBWScale: -0.5}, "InterBWScale"},
+		{"inf bw scale", FaultSpec{IntraBWScale: math.Inf(1)}, "IntraBWScale"},
+		{"sub-unity lat scale", FaultSpec{InterLatScale: 0.5}, "InterLatScale"},
+		{"nan lat scale", FaultSpec{IntraLatScale: math.NaN()}, "IntraLatScale"},
 	}
 	for _, tc := range cases {
 		err := tc.spec.Validate(cl)
@@ -90,10 +90,10 @@ func TestRangeScalesUseSlowestMember(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := deg.RangeFLOPSScale(0, 2); got != 1 {
+	if got := deg.RangeFLOPSScale(0, 2, FP16); got != 1 {
 		t.Errorf("RangeFLOPSScale(0,2) = %v, want 1 (straggler outside range)", got)
 	}
-	if got := deg.RangeFLOPSScale(0, 4); got != 0.25 {
+	if got := deg.RangeFLOPSScale(0, 4, FP16); got != 0.25 {
 		t.Errorf("RangeFLOPSScale(0,4) = %v, want 0.25", got)
 	}
 	if got := deg.RangeMemory(2, 1); got != 0.5*cl.MemoryBytes {

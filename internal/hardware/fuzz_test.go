@@ -1,0 +1,59 @@
+package hardware
+
+import "testing"
+
+// FuzzRestrictExact drives Restrict over arbitrary shapes, class
+// layouts and fault positions: the result must always hold exactly n
+// physical devices, validate cleanly, and never resurrect an
+// out-of-range fault entry.
+func FuzzRestrictExact(f *testing.F) {
+	f.Add(4, 12, uint8(0), -1)
+	f.Add(2, 20, uint8(1), 3)
+	f.Add(5, 33, uint8(2), 17)
+	f.Add(1, 1, uint8(3), 0)
+	f.Fuzz(func(t *testing.T, nodes, n int, layout uint8, faultDev int) {
+		if nodes < 1 || nodes > 64 || n < 1 || n > 512 {
+			t.Skip()
+		}
+		var c Cluster
+		switch layout % 3 {
+		case 0:
+			c = DGX1V100(nodes)
+		case 1:
+			c = A100V100(nodes, nodes)
+		default:
+			nc := make([]int, nodes)
+			for i := range nc {
+				nc[i] = i % 2
+			}
+			c = Mixed(8, nc, A100Class(), V100Class())
+		}
+		if faultDev >= 0 && faultDev < c.physTotal() {
+			deg, err := c.Degrade(FaultSpec{
+				Devices:      []DeviceFault{{Device: faultDev, FLOPSScale: 0.5, MemScale: 0.5}},
+				InterBWScale: 0.5,
+			})
+			if err != nil {
+				t.Fatalf("Degrade(%d): %v", faultDev, err)
+			}
+			c = deg
+		}
+		r := c.Restrict(n)
+		if got := r.physTotal(); got != n {
+			t.Fatalf("Restrict(%d) holds %d physical devices", n, got)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("Restrict(%d).Validate() = %v", n, err)
+		}
+		// Every usable rank must resolve to a class and to positive
+		// capability figures.
+		for _, d := range []int{0, r.TotalDevices() - 1} {
+			if s := r.DeviceFLOPSScale(d, FP16); s <= 0 || s > 1 {
+				t.Fatalf("DeviceFLOPSScale(%d) = %v out of (0, 1]", d, s)
+			}
+			if m := r.DeviceMemory(d); m <= 0 {
+				t.Fatalf("DeviceMemory(%d) = %v", d, m)
+			}
+		}
+	})
+}

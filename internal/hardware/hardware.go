@@ -61,6 +61,18 @@ type Cluster struct {
 	IntraLat float64
 	InterLat float64
 
+	// TailDevices, when non-zero, makes the last node ragged: it hosts
+	// only TailDevices devices instead of DevicesPerNode. Restrict sets
+	// it so that non-multiple device counts yield *exactly* n devices.
+	// 0 means the last node is full.
+	TailDevices int
+
+	// Classes, when non-empty, makes the cluster heterogeneous: the
+	// scalar fields above become the reference envelope (best class)
+	// and NodeClass assigns each node a class index. See classes.go.
+	Classes   []DeviceClass
+	NodeClass []int
+
 	// Faults describes degraded hardware; nil means healthy. Set via
 	// Degrade (never directly): Degrade validates and normalizes the
 	// spec, and the attached value is read-only afterwards — Cluster
@@ -85,9 +97,20 @@ func DGX1V100(nodes int) Cluster {
 	}
 }
 
+// physTotal returns the number of physical device slots on the grid,
+// accounting for a ragged last node. Fault device ranks index into
+// [0, physTotal).
+func (c *Cluster) physTotal() int {
+	total := c.Nodes * c.DevicesPerNode
+	if c.TailDevices > 0 {
+		total -= c.DevicesPerNode - c.TailDevices
+	}
+	return total
+}
+
 // TotalDevices returns the number of usable devices in the cluster
 // (dead devices removed by Degrade do not count).
-func (c *Cluster) TotalDevices() int { return c.Nodes*c.DevicesPerNode - c.DeadDevices() }
+func (c *Cluster) TotalDevices() int { return c.physTotal() - c.DeadDevices() }
 
 // PeakFLOPS returns the peak per-device throughput for a precision.
 func (c *Cluster) PeakFLOPS(p Precision) float64 {
@@ -117,12 +140,22 @@ func (c *Cluster) Validate() error {
 		return fmt.Errorf("hardware: non-positive or non-finite bandwidth")
 	case !finite(c.IntraLat) || !finite(c.InterLat) || c.IntraLat < 0 || c.InterLat < 0:
 		return fmt.Errorf("hardware: negative or non-finite latency")
+	case c.TailDevices < 0 || c.TailDevices >= c.DevicesPerNode:
+		return fmt.Errorf("hardware: TailDevices = %d, want 0 (full last node) or (0, %d)",
+			c.TailDevices, c.DevicesPerNode)
+	}
+	if err := c.validateClasses(); err != nil {
+		return err
 	}
 	if c.Faults != nil {
 		healthy := *c
 		healthy.Faults = nil
 		if err := c.Faults.Validate(healthy); err != nil {
-			return err
+			// Name the cluster shape so a fault error surfacing far from
+			// the Degrade call (e.g. out of a Restrict-shrunken copy)
+			// still says which grid the device index was checked against.
+			return fmt.Errorf("hardware: invalid fault spec for %d-device cluster: %w",
+				healthy.physTotal(), err)
 		}
 	}
 	return nil
@@ -140,16 +173,39 @@ func (c *Cluster) GroupSpansNodes(first, size int) bool {
 	return c.NodeOf(first) != c.NodeOf(first+size-1)
 }
 
-// Restrict returns a copy of the cluster with exactly n devices,
-// rounding the node count up so that n devices exist. It is used to run
-// experiments on device subsets (1, 4, 8, 16, 32 GPUs).
+// Restrict returns a copy of the cluster with exactly n physical
+// devices. n ≤ DevicesPerNode shrinks to a single (smaller) node;
+// larger non-multiple n leaves the last node ragged via TailDevices
+// instead of rounding the node count up — Restrict(12) on DGX-1 is 12
+// usable devices, not 16. It is used to run experiments on device
+// subsets (1, 4, 12, 20, 33 … GPUs).
+//
+// An attached FaultSpec is refit to the new shape: entries for
+// physical ranks outside [0, n) are dropped (the devices they derated
+// no longer exist), in-range entries and cluster-wide link derates
+// survive.
 func (c Cluster) Restrict(n int) Cluster {
 	out := c
 	if n <= c.DevicesPerNode {
 		out.Nodes = 1
 		out.DevicesPerNode = n
-		return out
+		out.TailDevices = 0
+	} else {
+		out.Nodes = (n + c.DevicesPerNode - 1) / c.DevicesPerNode
+		out.TailDevices = n % c.DevicesPerNode
 	}
-	out.Nodes = (n + c.DevicesPerNode - 1) / c.DevicesPerNode
+	if len(c.NodeClass) > 0 {
+		nc := make([]int, out.Nodes)
+		for i := range nc {
+			if i < len(c.NodeClass) {
+				nc[i] = c.NodeClass[i]
+			} else {
+				// Growing past the described nodes: repeat the last class.
+				nc[i] = c.NodeClass[len(c.NodeClass)-1]
+			}
+		}
+		out.NodeClass = nc
+	}
+	out.Faults = refitFaults(c.Faults, out.physTotal())
 	return out
 }

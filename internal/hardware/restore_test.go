@@ -68,7 +68,7 @@ func TestDegradeRestoreRoundTrip(t *testing.T) {
 			if err := cur.Validate(); err != nil {
 				t.Fatalf("seed %d: cluster invalid after restoring %d: %v", seed, d.Device, err)
 			}
-			if s := cur.DeviceFLOPSScale(logicalOf(t, &cur, d.Device)); s != 1 {
+			if s := cur.DeviceFLOPSScale(logicalOf(t, &cur, d.Device), hardware.FP16); s != 1 {
 				t.Fatalf("seed %d: device %d still derated (scale %v) after restore", seed, d.Device, s)
 			}
 		}
@@ -145,7 +145,7 @@ func TestRestoreKeepsOtherFaults(t *testing.T) {
 	if r.TotalDevices() != 4 {
 		t.Fatalf("TotalDevices = %d after restoring the dead device, want 4", r.TotalDevices())
 	}
-	if s := r.DeviceFLOPSScale(2); s != 0.5 {
+	if s := r.DeviceFLOPSScale(2, hardware.FP16); s != 0.5 {
 		t.Fatalf("device 2 derate lost: scale = %v, want 0.5", s)
 	}
 	if bw := r.EffInterBW(); bw != cl.InterBW*0.25 {
@@ -158,7 +158,7 @@ func TestRestoreKeepsOtherFaults(t *testing.T) {
 	if bw := r.EffInterBW(); bw != cl.InterBW {
 		t.Fatalf("EffInterBW = %v after RestoreLinks, want healthy %v", bw, cl.InterBW)
 	}
-	if s := r.DeviceFLOPSScale(2); s != 0.5 {
+	if s := r.DeviceFLOPSScale(2, hardware.FP16); s != 0.5 {
 		t.Fatalf("RestoreLinks dropped the device derate: scale = %v", s)
 	}
 }

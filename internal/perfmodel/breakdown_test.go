@@ -57,7 +57,7 @@ func TestReshardCommBucket(t *testing.T) {
 	prevAct := g.Ops[half-1].ActElems
 	bpe := g.Precision.BytesPerElem()
 	pl := collective.PlacementFor(&m.Cluster, 0, 4)
-	want := 2 * m.Prof.AllGather(prevAct*float64(c.MicroBatch)*bpe/4, 4, pl)
+	want := 2 * m.Prof.AllGather(prevAct*float64(c.MicroBatch)*bpe/4, 0, 4, pl)
 	if diff := s.ReshardComm/want - 1; math.Abs(diff) > 1e-9 {
 		t.Errorf("ReshardComm = %v, want %v (the resample all-gather pair)", s.ReshardComm, want)
 	}

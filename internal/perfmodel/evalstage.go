@@ -56,12 +56,16 @@ func (m *Model) ComposePipeline(stages []StageMetrics, n int) *Estimate {
 		Feasible:     true,
 		Microbatches: n,
 	}
+	firstDev := 0
 	for i := range est.Stages {
 		sm := &est.Stages[i]
 		est.Devices += sm.Devices
 		if sm.CapMem == 0 {
-			sm.CapMem = m.Cluster.MemoryBytes
+			// Capacity of the devices this stage lands on — the class
+			// floor, not the cluster-wide envelope.
+			sm.CapMem = m.Cluster.RangeMemory(firstDev, sm.Devices)
 		}
+		firstDev += sm.Devices
 		if sm.PeakMem > sm.CapMem {
 			est.Feasible = false
 			if est.OOMStage < 0 || sm.PeakMem > est.Stages[est.OOMStage].PeakMem {

@@ -300,7 +300,7 @@ func (m *Model) evalStage(st *config.Stage, microBatch, firstDev, inflight, prev
 	// Straggler semantics: the stage's SPMD ranks advance in lockstep,
 	// so every kernel runs at the pace of the range's slowest device
 	// (1 on a healthy cluster).
-	derate := m.Cluster.RangeFLOPSScale(firstDev, st.Devices)
+	derate := m.Cluster.RangeFLOPSScale(firstDev, st.Devices, prec)
 	var sm StageMetrics
 	{
 		// Layout tracking across the stage for relayout collectives.
@@ -344,7 +344,7 @@ func (m *Model) evalStage(st *config.Stage, microBatch, firstDev, inflight, prev
 				// Relayout: a Split activation feeding an op that
 				// expects Replicated input costs an all-gather.
 				if dim.In == model.Replicated && curLayout == model.Split && curTP > 1 {
-					t := m.Prof.AllGather(prevActBytes*float64(samples)*bpe, curTP, tpPlace)
+					t := m.Prof.AllGather(prevActBytes*float64(samples)*bpe, firstDev, curTP, tpPlace)
 					sm.FwdTime += t
 					sm.BwdTime += t // mirrored reduce-scatter in backward
 					sm.TPComm += 2 * t
@@ -354,7 +354,7 @@ func (m *Model) evalStage(st *config.Stage, microBatch, firstDev, inflight, prev
 			// across the whole stage group. This is data-parallel
 			// reshard traffic, not a tensor-parallel collective.
 			if prevDP != 0 && set.DP != prevDP {
-				t := m.Prof.AllGather(prevActBytes*float64(microBatch)*bpe/float64(st.Devices), st.Devices,
+				t := m.Prof.AllGather(prevActBytes*float64(microBatch)*bpe/float64(st.Devices), firstDev, st.Devices,
 					collective.PlacementFor(&m.Cluster, firstDev, st.Devices))
 				sm.FwdTime += t
 				sm.BwdTime += t
@@ -377,7 +377,7 @@ func (m *Model) evalStage(st *config.Stage, microBatch, firstDev, inflight, prev
 				arBytes := op.ActElems * float64(samples) * bpe
 				switch {
 				case dim.AllReduceOut:
-					t := m.Prof.AllReduce(arBytes, set.TP, tpPlace)
+					t := m.Prof.AllReduce(arBytes, firstDev, set.TP, tpPlace)
 					sm.FwdTime += t
 					sm.TPComm += t
 					if set.Recompute {
@@ -387,7 +387,7 @@ func (m *Model) evalStage(st *config.Stage, microBatch, firstDev, inflight, prev
 				case dim.In == model.Replicated && dim.Out == model.Split:
 					// Column-parallel: backward all-reduces the input
 					// gradient (per-sample size = previous activation).
-					t := m.Prof.AllReduce(prevActBytes*float64(samples)*bpe, set.TP, tpPlace)
+					t := m.Prof.AllReduce(prevActBytes*float64(samples)*bpe, firstDev, set.TP, tpPlace)
 					sm.BwdTime += t
 					sm.TPComm += t
 				}
@@ -424,11 +424,11 @@ func (m *Model) evalStage(st *config.Stage, microBatch, firstDev, inflight, prev
 			// Data-parallel gradient sync (per iteration).
 			if set.DP > 1 && op.Params > 0 {
 				dpPlace := collective.PlacementFor(&m.Cluster, firstDev, st.Devices)
-				sm.DPSync += m.Prof.AllReduce(paramBytes, set.DP, dpPlace)
+				sm.DPSync += m.Prof.AllReduce(paramBytes, firstDev, set.DP, dpPlace)
 				if set.ZeRO {
 					// Each rank updates its optimizer shard; the
 					// refreshed parameters all-gather back.
-					sm.DPSync += m.Prof.AllGather(paramBytes, set.DP, dpPlace)
+					sm.DPSync += m.Prof.AllGather(paramBytes, firstDev, set.DP, dpPlace)
 				}
 			}
 
@@ -455,7 +455,7 @@ func (m *Model) evalStage(st *config.Stage, microBatch, firstDev, inflight, prev
 			}
 			bytes := in.ActElems * float64(microBatch) * bpe / float64(lanes)
 			pl := collective.PlacementFor(&m.Cluster, firstDev-1, 2)
-			t := m.Prof.P2P(bytes, pl)
+			t := m.Prof.P2P(bytes, firstDev-1, pl)
 			sm.FwdTime += t
 			sm.BwdTime += t
 			sm.P2P += 2 * t

@@ -355,6 +355,7 @@ func SimulateEffects(pm *perfmodel.Model, cfg *config.Config, seed int64, sched 
 		StageBusy:    make([]float64, p),
 		StageOOM:     make([]bool, p),
 	}
+	firstDev := 0
 	for i := 0; i < p; i++ {
 		t := stageFree[i] + est.Stages[i].DPSync
 		res.StageTime[i] = t
@@ -371,16 +372,18 @@ func SimulateEffects(pm *perfmodel.Model, cfg *config.Config, seed int64, sched 
 		if mem > res.PeakMem {
 			res.PeakMem = mem
 		}
-		// Fault-aware capacity: a derated device shrinks its stage's
-		// budget (CapMem == Cluster.MemoryBytes on healthy hardware).
+		// Fault- and class-aware capacity: a derated or lower-class
+		// device shrinks its stage's budget (CapMem ==
+		// Cluster.MemoryBytes on healthy homogeneous hardware).
 		cap := est.Stages[i].CapMem
 		if cap <= 0 {
-			cap = pm.Cluster.MemoryBytes
+			cap = pm.Cluster.RangeMemory(firstDev, cfg.Stages[i].Devices)
 		}
 		if mem > cap {
 			res.StageOOM[i] = true
 			res.OOM = true
 		}
+		firstDev += cfg.Stages[i].Devices
 	}
 	for i := 0; i < p; i++ {
 		if res.IterTime > 0 {

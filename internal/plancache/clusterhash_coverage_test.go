@@ -1,0 +1,111 @@
+package plancache
+
+import (
+	"reflect"
+	"testing"
+
+	"aceso/internal/hardware"
+)
+
+// baseCluster returns a cluster with every hashed feature present:
+// heterogeneous classes, a ragged tail, and an attached fault spec —
+// so perturbing any field is visible in the key.
+func baseCluster() hardware.Cluster {
+	c := hardware.A100V100(2, 2)
+	c.TailDevices = 3
+	c.Faults = &hardware.FaultSpec{
+		Devices: []hardware.DeviceFault{
+			{Device: 1, FLOPSScale: 0.5, MemScale: 0.75},
+			{Device: 9, Dead: true},
+		},
+		IntraBWScale:  0.9,
+		InterBWScale:  0.8,
+		IntraLatScale: 2,
+		InterLatScale: 3,
+	}
+	return c
+}
+
+// TestClusterHashCoversEveryField walks the exported fields of
+// hardware.Cluster (and of the nested DeviceClass, FaultSpec and
+// DeviceFault types) by reflection and perturbs each one: the key must
+// change every time, and a field with no registered perturbation fails
+// the test by name. Adding a Cluster field therefore forces updating
+// both ClusterHash and this table — stale bit-identical cache hits on
+// a field the hash ignores become impossible.
+func TestClusterHashCoversEveryField(t *testing.T) {
+	clusterMuts := map[string]func(*hardware.Cluster){
+		"Nodes":          func(c *hardware.Cluster) { c.Nodes++ },
+		"DevicesPerNode": func(c *hardware.Cluster) { c.DevicesPerNode++ },
+		"FP16FLOPS":      func(c *hardware.Cluster) { c.FP16FLOPS *= 2 },
+		"FP32FLOPS":      func(c *hardware.Cluster) { c.FP32FLOPS *= 2 },
+		"MaxUtil":        func(c *hardware.Cluster) { c.MaxUtil *= 0.5 },
+		"MemoryBytes":    func(c *hardware.Cluster) { c.MemoryBytes *= 2 },
+		"IntraBW":        func(c *hardware.Cluster) { c.IntraBW *= 2 },
+		"InterBW":        func(c *hardware.Cluster) { c.InterBW *= 2 },
+		"IntraLat":       func(c *hardware.Cluster) { c.IntraLat *= 2 },
+		"InterLat":       func(c *hardware.Cluster) { c.InterLat *= 2 },
+		"TailDevices":    func(c *hardware.Cluster) { c.TailDevices++ },
+		"Classes":        func(c *hardware.Cluster) { c.Classes = c.Classes[:1] },
+		"NodeClass":      func(c *hardware.Cluster) { c.NodeClass[0] = 1 },
+		"Faults":         func(c *hardware.Cluster) { c.Faults = nil },
+	}
+	checkType(t, reflect.TypeOf(hardware.Cluster{}), clusterMuts)
+
+	classMuts := map[string]func(*hardware.Cluster){
+		"Name":        func(c *hardware.Cluster) { c.Classes[0].Name = "x" },
+		"FP16FLOPS":   func(c *hardware.Cluster) { c.Classes[0].FP16FLOPS *= 0.5 },
+		"FP32FLOPS":   func(c *hardware.Cluster) { c.Classes[0].FP32FLOPS *= 0.5 },
+		"MaxUtil":     func(c *hardware.Cluster) { c.Classes[0].MaxUtil *= 0.5 },
+		"MemoryBytes": func(c *hardware.Cluster) { c.Classes[0].MemoryBytes *= 0.5 },
+		"IntraBW":     func(c *hardware.Cluster) { c.Classes[0].IntraBW *= 0.5 },
+		"InterBW":     func(c *hardware.Cluster) { c.Classes[0].InterBW *= 0.5 },
+		"IntraLat":    func(c *hardware.Cluster) { c.Classes[0].IntraLat *= 0.5 },
+		"InterLat":    func(c *hardware.Cluster) { c.Classes[0].InterLat *= 0.5 },
+	}
+	checkType(t, reflect.TypeOf(hardware.DeviceClass{}), classMuts)
+
+	faultMuts := map[string]func(*hardware.Cluster){
+		"Devices":       func(c *hardware.Cluster) { c.Faults.Devices = c.Faults.Devices[:1] },
+		"IntraBWScale":  func(c *hardware.Cluster) { c.Faults.IntraBWScale = 0.1 },
+		"InterBWScale":  func(c *hardware.Cluster) { c.Faults.InterBWScale = 0.1 },
+		"IntraLatScale": func(c *hardware.Cluster) { c.Faults.IntraLatScale = 9 },
+		"InterLatScale": func(c *hardware.Cluster) { c.Faults.InterLatScale = 9 },
+	}
+	checkType(t, reflect.TypeOf(hardware.FaultSpec{}), faultMuts)
+
+	deviceFaultMuts := map[string]func(*hardware.Cluster){
+		"Device":     func(c *hardware.Cluster) { c.Faults.Devices[0].Device = 2 },
+		"Dead":       func(c *hardware.Cluster) { c.Faults.Devices[0].Dead = true },
+		"FLOPSScale": func(c *hardware.Cluster) { c.Faults.Devices[0].FLOPSScale = 0.25 },
+		"MemScale":   func(c *hardware.Cluster) { c.Faults.Devices[0].MemScale = 0.25 },
+	}
+	checkType(t, reflect.TypeOf(hardware.DeviceFault{}), deviceFaultMuts)
+}
+
+// checkType asserts that every exported field of typ has a registered
+// perturbation and that applying it changes the hash. The fault-spec
+// mutators mutate the attached spec in place, so each run works on a
+// freshly built base cluster.
+func checkType(t *testing.T, typ reflect.Type, muts map[string]func(*hardware.Cluster)) {
+	t.Helper()
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		mut, ok := muts[f.Name]
+		if !ok {
+			t.Errorf("%s.%s is not covered: add it to ClusterHash and to this test's perturbation table",
+				typ.Name(), f.Name)
+			continue
+		}
+		base := baseCluster()
+		before := ClusterHash(&base)
+		mut(&base)
+		if after := ClusterHash(&base); after == before {
+			t.Errorf("perturbing %s.%s did not change ClusterHash — stale cache hits possible",
+				typ.Name(), f.Name)
+		}
+	}
+}

@@ -278,6 +278,27 @@ func ClusterHash(c *hardware.Cluster) uint64 {
 	h.Float(c.InterBW)
 	h.Float(c.IntraLat)
 	h.Float(c.InterLat)
+	h.Int(int64(c.TailDevices))
+	// Device classes: every class field and the per-node layout feed
+	// the key — two fleets with equal envelopes but different class
+	// mixes must never share a cached plan.
+	h.Int(int64(len(c.Classes)))
+	for i := range c.Classes {
+		d := &c.Classes[i]
+		h.Str(d.Name)
+		h.Float(d.FP16FLOPS)
+		h.Float(d.FP32FLOPS)
+		h.Float(d.MaxUtil)
+		h.Float(d.MemoryBytes)
+		h.Float(d.IntraBW)
+		h.Float(d.InterBW)
+		h.Float(d.IntraLat)
+		h.Float(d.InterLat)
+	}
+	h.Int(int64(len(c.NodeClass)))
+	for _, k := range c.NodeClass {
+		h.Int(int64(k))
+	}
 	if f := c.Faults; f != nil {
 		h.Bool(true)
 		devs := make([]hardware.DeviceFault, len(f.Devices))

@@ -98,33 +98,97 @@ type FaultsSpec struct {
 	InterLatScale float64 `json:"inter_lat_scale,omitempty"`
 }
 
+// DeviceClassSpec is the wire form of hardware.DeviceClass. Link
+// fields of 0 inherit the cluster scalar.
+type DeviceClassSpec struct {
+	Name        string  `json:"name"`
+	FP16FLOPS   float64 `json:"fp16_flops"`
+	FP32FLOPS   float64 `json:"fp32_flops"`
+	MaxUtil     float64 `json:"max_util"`
+	MemoryBytes float64 `json:"memory_bytes"`
+	IntraBW     float64 `json:"intra_bw,omitempty"`
+	InterBW     float64 `json:"inter_bw,omitempty"`
+	IntraLat    float64 `json:"intra_lat,omitempty"`
+	InterLat    float64 `json:"inter_lat,omitempty"`
+}
+
 // ClusterSpec describes the target cluster. Faults, when present,
 // route the request through core.Replan against the degraded cluster.
 type ClusterSpec struct {
-	// Preset names the parametric cluster ("dgx1v100", the default and
-	// only preset today).
+	// Preset names the parametric cluster: "dgx1v100" (the default) or
+	// "a100v100" (a mixed fleet — A100 nodes first; node_classes may
+	// refine the per-node split, otherwise the first half is A100).
 	Preset string `json:"preset,omitempty"`
 	Nodes  int    `json:"nodes"`
 	// Restrict keeps only the first N devices (0 = all).
 	Restrict int         `json:"restrict,omitempty"`
 	Faults   *FaultsSpec `json:"faults,omitempty"`
+
+	// Classes/NodeClasses describe a custom heterogeneous fleet on top
+	// of the preset's scalar envelope: node_classes[i] indexes into
+	// classes and must cover every node.
+	Classes     []DeviceClassSpec `json:"classes,omitempty"`
+	NodeClasses []int             `json:"node_classes,omitempty"`
 }
 
 // Build returns the healthy cluster plus the fault spec to apply (nil
 // when the request targets healthy hardware). The faults are returned
 // unapplied because the Replan path wants (healthy cluster, spec).
 func (c *ClusterSpec) Build() (hardware.Cluster, *hardware.FaultSpec, error) {
-	switch c.Preset {
-	case "", "dgx1v100":
-	default:
-		return hardware.Cluster{}, nil, fmt.Errorf("planserver: unknown cluster preset %q", c.Preset)
-	}
 	if c.Nodes <= 0 {
 		return hardware.Cluster{}, nil, fmt.Errorf("planserver: cluster.nodes must be > 0")
 	}
-	cl := hardware.DGX1V100(c.Nodes)
+	var cl hardware.Cluster
+	switch c.Preset {
+	case "", "dgx1v100":
+		cl = hardware.DGX1V100(c.Nodes)
+	case "a100v100":
+		nodeClass := c.NodeClasses
+		if len(nodeClass) == 0 {
+			nodeClass = make([]int, c.Nodes)
+			for i := (c.Nodes + 1) / 2; i < c.Nodes; i++ {
+				nodeClass[i] = 1
+			}
+		} else if len(nodeClass) != c.Nodes {
+			return hardware.Cluster{}, nil, fmt.Errorf(
+				"planserver: cluster.node_classes has %d entries for %d nodes", len(nodeClass), c.Nodes)
+		}
+		cl = hardware.Mixed(8, nodeClass, hardware.A100Class(), hardware.V100Class())
+	default:
+		return hardware.Cluster{}, nil, fmt.Errorf("planserver: unknown cluster preset %q", c.Preset)
+	}
+	if len(c.Classes) > 0 {
+		if c.Preset == "a100v100" {
+			return hardware.Cluster{}, nil, fmt.Errorf(
+				"planserver: cluster.classes conflicts with the a100v100 preset's built-in classes")
+		}
+		if len(c.NodeClasses) != c.Nodes {
+			return hardware.Cluster{}, nil, fmt.Errorf(
+				"planserver: cluster.node_classes has %d entries for %d nodes", len(c.NodeClasses), c.Nodes)
+		}
+		classes := make([]hardware.DeviceClass, len(c.Classes))
+		for i, d := range c.Classes {
+			classes[i] = hardware.DeviceClass{
+				Name:        d.Name,
+				FP16FLOPS:   d.FP16FLOPS,
+				FP32FLOPS:   d.FP32FLOPS,
+				MaxUtil:     d.MaxUtil,
+				MemoryBytes: d.MemoryBytes,
+				IntraBW:     d.IntraBW,
+				InterBW:     d.InterBW,
+				IntraLat:    d.IntraLat,
+				InterLat:    d.InterLat,
+			}
+		}
+		// Mixed recomputes the scalar envelope from the classes, which
+		// keeps the envelope invariant Validate enforces.
+		cl = hardware.Mixed(cl.DevicesPerNode, c.NodeClasses, classes...)
+	}
 	if c.Restrict > 0 {
 		cl = cl.Restrict(c.Restrict)
+	}
+	if err := cl.Validate(); err != nil {
+		return hardware.Cluster{}, nil, err
 	}
 	if c.Faults == nil {
 		return cl, nil, nil

@@ -271,30 +271,36 @@ func (p *Profiler) OpTime(op *model.Op, tp, dim, samples, shards int, backward b
 	return t
 }
 
-// AllReduce returns the profiled time of an all-reduce.
-func (p *Profiler) AllReduce(bytes float64, group int, pl collective.Placement) float64 {
+// AllReduce returns the profiled time of an all-reduce over the
+// device range starting at first. The perturbation stream is keyed on
+// (kind, group, placement) only — two same-shaped groups at different
+// ranks share a multiplier, so homogeneous clusters are priced exactly
+// as before; the range enters solely through the class-aware link.
+func (p *Profiler) AllReduce(bytes float64, first, group int, pl collective.Placement) float64 {
 	if group <= 1 || bytes <= 0 {
 		return 0
 	}
-	t := collective.AllReduce(&p.Cluster, bytes, group, pl)
+	t := collective.AllReduceAt(&p.Cluster, bytes, first, group, pl)
 	return t * p.collPerturb('r', group, pl)
 }
 
-// AllGather returns the profiled time of an all-gather.
-func (p *Profiler) AllGather(bytes float64, group int, pl collective.Placement) float64 {
+// AllGather returns the profiled time of an all-gather over the device
+// range starting at first.
+func (p *Profiler) AllGather(bytes float64, first, group int, pl collective.Placement) float64 {
 	if group <= 1 || bytes <= 0 {
 		return 0
 	}
-	t := collective.AllGather(&p.Cluster, bytes, group, pl)
+	t := collective.AllGatherAt(&p.Cluster, bytes, first, group, pl)
 	return t * p.collPerturb('g', group, pl)
 }
 
-// P2P returns the profiled time of a stage-boundary transfer.
-func (p *Profiler) P2P(bytes float64, pl collective.Placement) float64 {
+// P2P returns the profiled time of a stage-boundary transfer into the
+// device pair starting at first.
+func (p *Profiler) P2P(bytes float64, first int, pl collective.Placement) float64 {
 	if bytes <= 0 {
 		return 0
 	}
-	t := collective.P2P(&p.Cluster, bytes, pl)
+	t := collective.P2PAt(&p.Cluster, bytes, first, pl)
 	return t * p.collPerturb('p', 0, pl)
 }
 

@@ -111,13 +111,13 @@ func TestZeroInputs(t *testing.T) {
 	if got := p.OpTime(op, 1, 0, 0, 1, false, hardware.FP16); got != 0 {
 		t.Errorf("OpTime(samples=0) = %v, want 0", got)
 	}
-	if got := p.AllReduce(0, 8, collective.IntraNode); got != 0 {
+	if got := p.AllReduce(0, 0, 8, collective.IntraNode); got != 0 {
 		t.Errorf("AllReduce(0 bytes) = %v, want 0", got)
 	}
-	if got := p.AllReduce(1e6, 1, collective.IntraNode); got != 0 {
+	if got := p.AllReduce(1e6, 0, 1, collective.IntraNode); got != 0 {
 		t.Errorf("AllReduce(group 1) = %v, want 0", got)
 	}
-	if got := p.P2P(0, collective.InterNode); got != 0 {
+	if got := p.P2P(0, 0, collective.InterNode); got != 0 {
 		t.Errorf("P2P(0) = %v, want 0", got)
 	}
 }
@@ -128,7 +128,7 @@ func TestPerturbationBounded(t *testing.T) {
 	c := p.Cluster
 	for _, g := range []int{2, 4, 8, 16} {
 		base := collective.AllReduce(&c, 1e8, g, collective.InterNode)
-		got := p.AllReduce(1e8, g, collective.InterNode)
+		got := p.AllReduce(1e8, 0, g, collective.InterNode)
 		if got < base*(1-perturbAmp)-1e-15 || got > base*(1+perturbAmp)+1e-15 {
 			t.Errorf("group %d: perturbed %v outside ±4%% of %v", g, got, base)
 		}
