@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test ci bench-search bench-guard bench-scale bench-serve bench-hetero chaos fuzz-smoke trace-smoke diff-smoke elastic-smoke churn-smoke serve-smoke hetero-smoke
+.PHONY: build test ci bench-search bench-guard bench-scale bench-serve bench-hetero bench-spot chaos fuzz-smoke trace-smoke diff-smoke elastic-smoke churn-smoke serve-smoke hetero-smoke spot-smoke
 
 build:
 	$(GO) build ./...
@@ -29,11 +29,14 @@ test:
 # then a real SIGTERM drain), and the heterogeneous-planning smoke (the
 # mixed-fleet search must keep beating the re-priced class-blind plan
 # with its committed explored counts and plan fingerprint, and a
-# mixed-cluster diff slice must stay violation-free).
+# mixed-cluster diff slice must stay violation-free), and the spot
+# smoke (randomized spot preemption/notice chaos trials plus the
+# notice-drain e2e: window ≥ checkpoint cost must lose zero steps).
 ci: build
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/core/... ./internal/perfmodel/... ./internal/memo/... ./internal/planserver/... ./internal/plancache/... ./internal/obs/... ./internal/hardware/... ./internal/collective/...
+	$(GO) test -race -count=1 -run 'Notice|Spot|DoublePreempt' ./internal/elastic
 	$(MAKE) fuzz-smoke
 	$(GO) test -run xxx -bench BenchmarkSearchThroughput -benchtime 1x .
 	$(MAKE) bench-guard
@@ -43,6 +46,7 @@ ci: build
 	$(MAKE) hetero-smoke
 	$(MAKE) elastic-smoke
 	$(MAKE) churn-smoke
+	$(MAKE) spot-smoke
 	$(MAKE) serve-smoke
 
 # trace-smoke runs the observability target into a scratch directory:
@@ -71,6 +75,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzRestrictExact -fuzztime=5s ./internal/hardware
 	$(GO) test -fuzz=FuzzCheckpointLoadNeverPanics -fuzztime=5s ./internal/elastic
 	$(GO) test -fuzz=FuzzChurnEventsNeverPanic -fuzztime=5s ./internal/elastic
+	$(GO) test -fuzz=FuzzPreemptNoticeNeverPanics -fuzztime=5s ./internal/elastic
 
 # elastic-smoke runs the elastic-runtime benchmark + randomized elastic
 # chaos trials via cmd/acesobench: it fails the build if the recovered
@@ -91,6 +96,24 @@ elastic-smoke:
 CHURN_TRIALS ?= 12
 churn-smoke:
 	$(GO) run ./cmd/acesobench -churn-trials $(CHURN_TRIALS) -churnfile /tmp/aceso_ci_churn.json churn
+
+# spot-smoke is the fast spot-capacity gate: randomized Poisson-hazard
+# preemption streams — with and without reclaim notices — through
+# elastic.Supervise (internal/chaos.RunSpot), plus the notice-drain
+# end-to-end test: a notice window at least as long as the checkpoint
+# cost must yield a clean drain with zero lost steps and a trajectory
+# identical to the uninterrupted run. Part of ci.
+spot-smoke:
+	$(GO) test -count=1 -run TestRunSpotClean ./internal/chaos
+	$(GO) test -count=1 -run 'TestSuperviseNoticeDrainZeroLostSteps|TestSuperviseNoticeMissedFallsBack' ./internal/elastic
+
+# bench-spot re-runs the spot-capacity case study (risk-aware vs
+# risk-blind planning under a replayed preemption trace, plus spot
+# chaos trials) and rewrites BENCH_spot.json; it exits non-zero if the
+# risk-aware plan stops beating the re-priced risk-blind plan or the
+# achieved-throughput speedup falls under the 1.2x gate.
+bench-spot:
+	$(GO) run ./cmd/acesobench -seed 1 spot
 
 # hetero-smoke guards the heterogeneous planning case study against the
 # committed BENCH_hetero.json: the mixed-fleet search's explored counts

@@ -120,6 +120,15 @@ var (
 	// A100Class/V100Class are the canonical device-class descriptions.
 	A100Class = hardware.A100Class
 	V100Class = hardware.V100Class
+	// ReservedSpotV100 builds a mixed-capacity V100 fleet: r reserved
+	// nodes then s spot nodes, each spot device reclaimed hazard
+	// times/hour with notice seconds of warning (DESIGN.md §5k).
+	ReservedSpotV100 = hardware.ReservedSpotV100
+	// AsSpot derives the spot twin of a device class.
+	AsSpot = hardware.AsSpot
+	// RiskAssess prices an existing plan under a cluster's preemption
+	// hazard: expected iteration time + recommended checkpoint cadence.
+	RiskAssess = core.RiskAssess
 )
 
 // Initial-configuration builders.

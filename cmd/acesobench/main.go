@@ -65,6 +65,15 @@
 // non-zero if the trajectories diverge or any chaos trial violates a
 // runtime invariant.
 //
+// The extra target "spot" (not part of "all") runs the spot-capacity
+// case study: risk-aware planning on a mixed reserved/spot fleet
+// against the hazard-blind search re-priced under the true hazard, a
+// deterministic preemption trace replayed through the churn supervisor
+// twice (notices honored vs ignored), and the randomized spot chaos
+// pass. It writes BENCH_spot.json (see -spotfile) and exits non-zero
+// unless the risk-aware replay achieves at least 1.2x the risk-blind
+// replay's achieved throughput.
+//
 // The extra target "trace" (not part of "all") runs a fixed-iteration
 // search with the full observability stack attached: it writes the
 // deterministic JSONL iteration trace to -tracefile, a summary
@@ -1079,6 +1088,8 @@ func main() {
 	elasticTrials := flag.Int("elastic-trials", chaos.DefaultElasticTrials, "randomized chaos trials for the elastic target")
 	churnFile := flag.String("churnfile", "BENCH_churn.json", "output path for the churn target's report")
 	churnTrials := flag.Int("churn-trials", chaos.DefaultChurnTrials, "randomized chaos trials for the churn target")
+	spotFile := flag.String("spotfile", "BENCH_spot.json", "output path for the spot target's report")
+	spotTrials := flag.Int("spot-trials", chaos.DefaultSpotTrials, "randomized chaos trials for the spot target")
 	heteroFile := flag.String("heterofile", "BENCH_hetero.json", "output path for the hetero target's report")
 	heteroDiffTrials := flag.Int("hetero-diff-trials", 512, "randomized mixed-cluster tuples for the hetero target's diff slice")
 	serveFile := flag.String("servefile", "BENCH_serve.json", "output path for the serve target's report")
@@ -1397,6 +1408,19 @@ func main() {
 		}
 		if violations > 0 {
 			fail("churn", fmt.Errorf("%d invariant violations", violations))
+		}
+		fmt.Fprintln(w)
+	}
+
+	if want["spot"] { // deliberately not part of "all"
+		fmt.Fprintf(w, "running spot-capacity benchmark (+%d chaos trials, seed %d)...\n",
+			*spotTrials, *seed)
+		violations, err := runSpotBench(*spotFile, *spotTrials, *seed, w)
+		if err != nil {
+			fail("spot", err)
+		}
+		if violations > 0 {
+			fail("spot", fmt.Errorf("%d gate violations", violations))
 		}
 		fmt.Fprintln(w)
 	}

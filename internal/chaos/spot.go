@@ -1,0 +1,249 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime/debug"
+	"time"
+
+	"aceso/internal/comm"
+	"aceso/internal/config"
+	"aceso/internal/elastic"
+	"aceso/internal/hardware"
+	"aceso/internal/model"
+	"aceso/internal/runtime"
+	"aceso/internal/tensor"
+)
+
+// DefaultSpotTrials is the spot trial count when Options leaves both
+// Trials and Duration unset. Spot trials run the full notice-drain
+// machinery (immediate checkpoints, pre-warmed replans) per event, so
+// the default matches the churn harness.
+const DefaultSpotTrials = 12
+
+// RandomSpotSpec draws a Poisson-style preemption stream for a spot
+// fleet: each device independently survives each iteration with
+// probability 1-hazardPerIter; a reclaim is noticed (PreemptNotice with
+// a window of up to maxNotice iterations) with probability noticeFrac
+// and unnoticed (plain Preempt) otherwise. Reclaimed devices are
+// sometimes handed back later, the way a spot market refills capacity.
+// The stream never schedules the reclaim of the last surviving device
+// so trials stay productive.
+func RandomSpotSpec(rng *rand.Rand, devices, iters int, hazardPerIter, noticeFrac float64, maxNotice int) elastic.ChurnSpec {
+	var spec elastic.ChurnSpec
+	dead := map[int]bool{}
+	for it := 0; it < iters; it++ {
+		for d := 0; d < devices; d++ {
+			if dead[d] || rng.Float64() >= hazardPerIter {
+				continue
+			}
+			if len(dead) >= devices-1 {
+				continue // never doom the last survivor
+			}
+			ev := elastic.ChurnEvent{Iteration: it, Device: d, Kind: elastic.Preempt}
+			if rng.Float64() < noticeFrac {
+				ev.Kind = elastic.PreemptNotice
+				if maxNotice > 0 {
+					ev.Notice = rng.Intn(maxNotice + 1)
+				}
+			}
+			dead[d] = true
+			spec.Events = append(spec.Events, ev)
+			// Capacity sometimes comes back a few iterations later.
+			if rng.Intn(2) == 0 {
+				spec.Events = append(spec.Events, elastic.ChurnEvent{
+					Iteration: it + 1 + rng.Intn(iters),
+					Device:    d,
+					Kind:      elastic.Readd,
+				})
+				delete(dead, d)
+			}
+		}
+	}
+	return spec
+}
+
+// RunSpot hammers the spot-capacity path end to end: every trial draws
+// a random model and plan, a Poisson-hazard preemption stream with a
+// mix of noticed and unnoticed reclaims, and a random checkpoint cost,
+// then runs it through elastic.Supervise and checks the invariants —
+// no panic, no deadlock, all iterations completed, a monotone step
+// counter, finite losses, coherent drain accounting, a steps-lost
+// budget (covered notices must not lose work; only faults, missed
+// notices, and retries may), and bitwise-tolerant agreement with the
+// uninterrupted reference run.
+func RunSpot(o Options) *Report {
+	start := time.Now()
+	rep := &Report{}
+	deadline := time.Time{}
+	if o.Duration > 0 {
+		deadline = start.Add(o.Duration)
+	}
+	trials := o.Trials
+	if trials <= 0 && o.Duration <= 0 {
+		trials = DefaultSpotTrials
+	}
+	for i := 0; trials <= 0 || i < trials; i++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		seed := o.Seed + int64(i)*1000003
+		v := ReplaySpotTrial(i, seed, rep)
+		rep.Trials++
+		if v != nil {
+			rep.Violations = append(rep.Violations, *v)
+		}
+		if o.Log != nil && (i+1)%4 == 0 {
+			o.Log("chaos-spot: %d trials, %d survived runs, %d typed errors, %d violations",
+				rep.Trials, rep.Plans, rep.TypedErrs, len(rep.Violations))
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	return rep
+}
+
+// ReplaySpotTrial runs one spot chaos trial. Exported so a violation
+// from a long run is replayable in isolation.
+func ReplaySpotTrial(trial int, seed int64, rep *Report) (viol *Violation) {
+	defer func() {
+		if r := recover(); r != nil {
+			viol = &Violation{
+				Trial: trial, Seed: seed, Kind: "panic",
+				Detail: fmt.Sprintf("%v\n%s", r, debug.Stack()),
+			}
+		}
+	}()
+	fail := func(kind, format string, args ...any) *Violation {
+		return &Violation{Trial: trial, Seed: seed, Kind: kind,
+			Detail: fmt.Sprintf(format, args...)}
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	dim := 4 << rng.Intn(2)   // 4 or 8
+	layers := 2 + rng.Intn(3) // 2..4
+	batch := 8 << rng.Intn(2) // 8 or 16
+	g, err := model.MLP(layers, dim, batch)
+	if err != nil {
+		rep.TypedErrs++
+		return nil
+	}
+	shape := drawShape(rng, len(g.Ops), dim)
+	total := shape.stages * shape.tp * shape.dp
+	mb := batch / (1 << rng.Intn(2))
+	cfg, err := config.Balanced(g, total, shape.stages, mb)
+	if err != nil {
+		rep.TypedErrs++
+		return nil
+	}
+	for i := range cfg.Stages {
+		for j := range cfg.Stages[i].Ops {
+			cfg.Stages[i].Ops[j] = config.OpSetting{TP: shape.tp, DP: shape.dp, Dim: 0}
+		}
+	}
+	if err := cfg.Validate(g, total); err != nil {
+		rep.TypedErrs++
+		return nil
+	}
+	cl := hardware.DGX1V100(1).Restrict(total)
+
+	x := tensor.New(batch, dim)
+	y := tensor.New(batch, dim)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+		y.Data[i] = rng.NormFloat64()
+	}
+
+	iters := 4 + rng.Intn(5) // 4..8
+	spec := RandomSpotSpec(rng, total, iters,
+		0.05+0.15*rng.Float64(), // per-device per-iteration hazard
+		0.3+0.5*rng.Float64(),   // fraction of reclaims with advance notice
+		3)                       // windows up to 3 iterations
+
+	// The uninterrupted reference trajectory for the divergence check.
+	ref := runtime.InitParams(g, seed)
+	ref.Opt = runtime.Adam
+	refLosses, err := runtime.Parallel(g, cfg, ref, x, y, 0.05, iters)
+	if err != nil {
+		rep.TypedErrs++
+		return nil
+	}
+
+	p := runtime.InitParams(g, seed)
+	p.Opt = runtime.Adam
+	opt := elastic.SuperviseOptions{
+		Options: elastic.Options{
+			LR:              0.05,
+			CheckpointEvery: 1 + rng.Intn(2),
+			CommDeadline:    20 * time.Second,
+			SearchBudget:    100 * time.Millisecond,
+			Seed:            seed,
+		},
+		BackoffBase:    time.Microsecond,
+		BackoffCap:     4 * time.Microsecond,
+		MaxCadence:     churnMaxCadence,
+		CheckpointCost: rng.Intn(3), // 0..2: some notices covered, some missed
+	}
+	spotRep, err := elastic.Supervise(context.Background(), g, cl, cfg, p, x, y, iters, spec, opt)
+	if err != nil {
+		var te *comm.CollectiveTimeoutError
+		if errors.As(err, &te) {
+			return fail("deadlock", "collective timeout escaped the supervisor: %v", err)
+		}
+		var stalled *elastic.StalledError
+		if errors.As(err, &stalled) {
+			rep.TypedErrs++ // stream genuinely ran out of capacity
+			return nil
+		}
+		rep.TypedErrs++
+		return nil
+	}
+
+	if spotRep.FinalStep != iters {
+		return fail("lost-steps", "final step %d, want %d (notices=%d drains=%d missed=%d faults=%d)",
+			spotRep.FinalStep, iters, spotRep.Notices, spotRep.CleanDrains, spotRep.NoticesMissed, spotRep.FaultsDetected)
+	}
+	if len(spotRep.Losses) != iters {
+		return fail("lost-steps", "%d losses for %d iterations", len(spotRep.Losses), iters)
+	}
+	for i, l := range spotRep.Losses {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			return fail("non-finite", "loss[%d] = %v", i, l)
+		}
+	}
+	for i := 1; i < len(spotRep.Steps); i++ {
+		if spotRep.Steps[i] <= spotRep.Steps[i-1] {
+			return fail("non-monotone-step", "steps %v", spotRep.Steps)
+		}
+	}
+	// Drain accounting must be internally coherent.
+	if spotRep.CleanDrains+spotRep.NoticesMissed > spotRep.Notices {
+		return fail("drain-accounting", "drains %d + missed %d > notices %d",
+			spotRep.CleanDrains, spotRep.NoticesMissed, spotRep.Notices)
+	}
+	if len(spotRep.NoticeMisses) != spotRep.NoticesMissed {
+		return fail("drain-accounting", "%d typed misses for %d missed notices",
+			len(spotRep.NoticeMisses), spotRep.NoticesMissed)
+	}
+	// Steps-lost budget: a covered notice drains losslessly, so only
+	// unnoticed faults, missed notices (which fall back to the fault
+	// path), and retried timeouts may discard work — one partial segment
+	// each, capped at MaxCadence iterations.
+	if bound := (spotRep.FaultsDetected + spotRep.NoticesMissed + spotRep.Retries) * churnMaxCadence; spotRep.StepsLost > bound {
+		return fail("steps-lost-budget", "lost %d steps > bound %d (faults=%d missed=%d retries=%d cap=%d)",
+			spotRep.StepsLost, bound, spotRep.FaultsDetected, spotRep.NoticesMissed, spotRep.Retries, churnMaxCadence)
+	}
+	// Divergence: reclaims must cost wall time only, never fidelity.
+	for i := range refLosses {
+		if math.Abs(spotRep.Losses[i]-refLosses[i]) > churnTol {
+			return fail("diverged", "loss[%d] %.15g vs uninterrupted %.15g", i, spotRep.Losses[i], refLosses[i])
+		}
+	}
+	if d := ref.MaxDiff(spotRep.Params); d > churnTol {
+		return fail("diverged", "final params differ by %g from uninterrupted run", d)
+	}
+	rep.Plans++
+	return nil
+}

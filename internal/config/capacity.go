@@ -78,21 +78,48 @@ func OpSplitWeighted(g *model.Graph, weights []float64) ([][2]int, error) {
 // len(devScale) count as full-speed. With uniform scales the result is
 // identical to Balanced.
 func CapacityBalanced(devScale []float64) func(g *model.Graph, totalDevices, stages, microBatch int) (*Config, error) {
+	return RiskBalanced(devScale, nil)
+}
+
+// RiskBalanced is the spot-capacity initializer: CapacityBalanced's
+// capacity-proportional operator shares with two hazard biases.
+// Stage-boundary bias: a device's weight is its capacity discounted by
+// its preemption hazard (hazard[d], any unit — only relative magnitude
+// matters), so hazardous stages attract fewer operators and are
+// cheaper to re-execute. Placement bias: a stage landing on any
+// hazardous device starts dp-replicated (TP devs/2 × DP 2) when device
+// count and microbatch divisibility permit, so the work a preemption
+// can touch is held by a surviving replica from the very first
+// candidate. With nil or all-zero hazards both biases vanish and the
+// result is exactly CapacityBalanced's.
+func RiskBalanced(devScale, hazard []float64) func(g *model.Graph, totalDevices, stages, microBatch int) (*Config, error) {
 	return func(g *model.Graph, totalDevices, stages, microBatch int) (*Config, error) {
 		devs, err := DeviceSplit(totalDevices, stages)
 		if err != nil {
 			return nil, err
 		}
 		weights := make([]float64, stages)
+		hazardous := make([]bool, stages)
 		first := 0
 		for s := 0; s < stages; s++ {
 			var cap float64
 			for d := first; d < first+devs[s]; d++ {
+				w := 1.0
 				if d < len(devScale) && devScale[d] > 0 {
-					cap += devScale[d]
-				} else {
-					cap += 1
+					w = devScale[d]
 				}
+				if d < len(hazard) && hazard[d] > 0 {
+					// Cap the discount at 1.25x: the bias should nudge stage
+					// boundaries, not starve hazardous stages of work the
+					// search then has to claw back from a distorted start.
+					h := hazard[d]
+					if h > 1 {
+						h = 1
+					}
+					w /= 1 + h/4
+					hazardous[s] = true
+				}
+				cap += w
 			}
 			weights[s] = cap
 			first += devs[s]
@@ -105,8 +132,12 @@ func CapacityBalanced(devScale []float64) func(g *model.Graph, totalDevices, sta
 		for s := 0; s < stages; s++ {
 			st := Stage{Start: ranges[s][0], End: ranges[s][1], Devices: devs[s]}
 			st.Ops = make([]OpSetting, st.NumOps())
+			tp, dp := devs[s], 1
+			if hazardous[s] && devs[s]%2 == 0 && microBatch%2 == 0 {
+				tp, dp = devs[s]/2, 2
+			}
 			for j := range st.Ops {
-				st.Ops[j] = OpSetting{TP: devs[s], DP: 1, Dim: 0}
+				st.Ops[j] = OpSetting{TP: tp, DP: dp, Dim: 0}
 			}
 			c.Stages[s] = st
 		}

@@ -22,7 +22,7 @@ const fineTuneCandidateCap = 96
 func (s *searcher) fineTune(cfg *config.Config) *config.Config {
 	curEst := s.estimate(cfg)
 	best := cfg
-	bestScore := s.score(curEst)
+	bestScore := s.score(cfg, curEst)
 	improved := false
 	budget := fineTuneCandidateCap
 
@@ -51,7 +51,7 @@ func (s *searcher) fineTune(cfg *config.Config) *config.Config {
 		}
 		s.visited[h] = true
 		e := s.estimate(c)
-		sc := s.score(e)
+		sc := s.score(c, e)
 		if e.Feasible {
 			s.trace.observe(sc)
 		}

@@ -90,7 +90,7 @@ func TestMultiHopFindsImprovement(t *testing.T) {
 	if err := cfg.Validate(g, 4); err != nil {
 		t.Fatal(err)
 	}
-	initScore := s.score(s.estimate(cfg))
+	initScore := s.score(cfg, s.estimate(cfg))
 	bns := Bottlenecks(s.estimate(cfg), s.cluster.MemoryBytes)
 	if bns[0].Stage != 0 {
 		t.Fatalf("expected stage 0 to be the bottleneck, got %d", bns[0].Stage)
@@ -105,7 +105,7 @@ func TestMultiHopFindsImprovement(t *testing.T) {
 	if hops < 1 || hops > s.opts.MaxHops {
 		t.Errorf("hops = %d, want within [1, %d]", hops, s.opts.MaxHops)
 	}
-	if got := s.score(s.estimate(found)); got >= initScore {
+	if got := s.score(found, s.estimate(found)); got >= initScore {
 		t.Errorf("claimed improvement scores %v ≥ initial %v", got, initScore)
 	}
 }

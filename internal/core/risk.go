@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+
+	"aceso/internal/config"
+	"aceso/internal/hardware"
+	"aceso/internal/model"
+	"aceso/internal/perfmodel"
+)
+
+// Risk-aware objective for spot-capacity clusters. When any device
+// class carries a preemption hazard the search stops ranking plans by
+// nominal iteration time and ranks them by *expected* iteration time:
+// nominal time inflated by the rework each preemption forces
+// (perfmodel.Rework) plus the amortized checkpoint overhead at the
+// plan's own optimal cadence. The model is placement-sensitive — each
+// pipeline stage is priced at the hazard of the contiguous device
+// range it lands on, and a stage whose every operator is dp-replicated
+// (DP ≥ 2) loses no steps to a preemption (a surviving replica holds
+// the state), it only pays the fixed recovery. High-hazard devices
+// therefore attract replicated work and repel hard-to-move stages,
+// the PipeDream-style partitioning discipline extended to risk.
+//
+// Everything here is strictly gated on hardware.Cluster.HasSpot:
+// hazard-free searches never construct a riskModel and keep their
+// scores — and explored counts — bit-identical.
+
+// maxRecommendedCadence caps the checkpoint cadence the planner
+// recommends; even a hazard-free plan should checkpoint occasionally.
+const maxRecommendedCadence = 64
+
+// riskModel prices configurations under the cluster's preemption
+// hazard. Read-only after construction, so the per-stage-count workers
+// share one instance.
+type riskModel struct {
+	cl       *hardware.Cluster
+	recovery float64 // seconds per preemption; 0 = 10× iteration time
+	ckpt     float64 // seconds per checkpoint; 0 = 1× iteration time
+}
+
+// newRiskModel returns nil on hazard-free clusters — the gate that
+// keeps risk-blind searches bit-identical.
+func newRiskModel(cl *hardware.Cluster, opts Options) *riskModel {
+	if !cl.HasSpot() {
+		return nil
+	}
+	return &riskModel{
+		cl:       cl,
+		recovery: opts.RiskRecoverySeconds,
+		ckpt:     opts.RiskCheckpointSeconds,
+	}
+}
+
+// hazards returns the plan's total preemption rate and its
+// rollback-exposed share (the hazard of stages that would lose steps,
+// i.e. stages with any non-replicated operator), both per second.
+func (r *riskModel) hazards(cfg *config.Config) (lam, lamRB float64) {
+	first := 0
+	for s := range cfg.Stages {
+		st := &cfg.Stages[s]
+		h := r.cl.RangeHazard(first, st.Devices) / 3600
+		lam += h
+		if !stageReplicated(st) {
+			lamRB += h
+		}
+		first += st.Devices
+	}
+	return lam, lamRB
+}
+
+// stageReplicated reports whether every operator of the stage is
+// dp-replicated, so a preempted member loses no optimizer state.
+func stageReplicated(st *config.Stage) bool {
+	if len(st.Ops) == 0 {
+		return false
+	}
+	for j := range st.Ops {
+		if st.Ops[j].DP < 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// costs resolves the recovery and checkpoint costs for a candidate
+// with nominal iteration time t: explicit option values, or defaults
+// proportional to t (10× and 1×) that keep the objective scale-free.
+func (r *riskModel) costs(t float64) (rec, ck float64) {
+	rec, ck = r.recovery, r.ckpt
+	if rec <= 0 {
+		rec = 10 * t
+	}
+	if ck <= 0 {
+		ck = t
+	}
+	return rec, ck
+}
+
+// cadence returns the Young–Daly checkpoint cadence for a feasible
+// configuration with nominal iteration time t, driven by the
+// rollback-exposed hazard (replicated stages need no rollback
+// protection).
+func (r *riskModel) cadence(cfg *config.Config, t float64) int {
+	_, lamRB := r.hazards(cfg)
+	_, ck := r.costs(t)
+	return perfmodel.RecommendedCadence(lamRB, t, ck, maxRecommendedCadence)
+}
+
+// expected returns the risk-adjusted score of a feasible configuration:
+// the perfmodel expected iteration time at the plan's own optimal
+// cadence, plus the recovery-only cost of preemptions hitting
+// replicated stages.
+func (r *riskModel) expected(cfg *config.Config, t float64) float64 {
+	lam, lamRB := r.hazards(cfg)
+	if lam <= 0 {
+		return t
+	}
+	rec, ck := r.costs(t)
+	k := perfmodel.RecommendedCadence(lamRB, t, ck, maxRecommendedCadence)
+	return perfmodel.ExpectedIterTime(t, lamRB, k, rec, ck) + t*(lam-lamRB)*rec
+}
+
+// riskSeedInitializer picks the starting candidate for one pipeline on
+// a spot cluster: it builds both the hazard-biased and the plain
+// capacity-proportional configurations and returns whichever the risk
+// objective prices cheaper. An infeasible candidate never wins over a
+// feasible one; on a tie the biased candidate wins (it is the one the
+// hazard evidence argues for). Both builds and both estimates are pure
+// functions of the inputs, so the choice is deterministic.
+func riskSeedInitializer(pm *perfmodel.Model, risk *riskModel, biased, plain Initializer) Initializer {
+	price := func(cfg *config.Config) float64 {
+		est := pm.Estimate(cfg)
+		if est == nil || !est.Feasible || est.IterTime <= 0 {
+			return math.Inf(1)
+		}
+		return risk.expected(cfg, est.IterTime)
+	}
+	return func(g *model.Graph, devices, stages, mbs int) (*config.Config, error) {
+		b, berr := biased(g, devices, stages, mbs)
+		p, perr := plain(g, devices, stages, mbs)
+		if berr != nil {
+			return p, perr
+		}
+		if perr != nil {
+			return b, nil
+		}
+		if price(p) < price(b) {
+			return p, nil
+		}
+		return b, nil
+	}
+}
+
+// RiskAssess prices an existing configuration on a cluster: the
+// expected iteration time under the cluster's preemption hazard and
+// the recommended checkpoint cadence, using the same model the search
+// optimizes. Hazard-free clusters return iterTime unchanged and
+// cadence 0 — the figure is then just the nominal time.
+func RiskAssess(cl *hardware.Cluster, cfg *config.Config, iterTime float64, opts Options) (expected float64, cadence int) {
+	r := newRiskModel(cl, opts)
+	if r == nil {
+		return iterTime, 0
+	}
+	return r.expected(cfg, iterTime), r.cadence(cfg, iterTime)
+}

@@ -90,6 +90,15 @@ type Options struct {
 	// Model optionally supplies a pre-built performance model (shared
 	// profiling database); one is created when nil.
 	Model *perfmodel.Model
+	// RiskRecoverySeconds and RiskCheckpointSeconds parameterize the
+	// risk-aware objective selected automatically on clusters with spot
+	// capacity (see risk.go): the modeled cost of recovering from one
+	// preemption (replan + reshard + restore) and of writing one
+	// checkpoint. 0 selects defaults proportional to each candidate's
+	// own iteration time (10× and 1×), keeping the objective
+	// scale-free. Ignored on hazard-free clusters.
+	RiskRecoverySeconds   float64
+	RiskCheckpointSeconds float64
 }
 
 func (o Options) withDefaults() Options {
@@ -174,6 +183,13 @@ type Result struct {
 	// errors) that did not prevent the remaining workers from
 	// producing a result. Empty on a clean search.
 	Diagnostics []*SearchError
+
+	// RecommendedCadence is the checkpoint cadence (iterations per
+	// checkpoint) minimizing the risk-aware objective for Best on a
+	// cluster with spot capacity — the elastic supervisor's
+	// CheckpointEvery should track it. 0 on hazard-free clusters,
+	// where the objective is plain iteration time.
+	RecommendedCadence int
 }
 
 // defaultStageCounts picks the pipeline depths searched in parallel.
@@ -224,6 +240,15 @@ func SearchContext(ctx context.Context, g *model.Graph, cl hardware.Cluster, opt
 	}
 	userInit := opts.Initializer
 	opts = opts.withDefaults()
+	// Risk-aware objective: on a cluster with live spot hazard, rank
+	// candidates by expected (hazard-adjusted) iteration time instead
+	// of nominal time. nil on hazard-free clusters — the gate that
+	// keeps risk-blind searches bit-identical (explored=24701).
+	risk := newRiskModel(&cl, opts)
+	pm := opts.Model
+	if pm == nil {
+		pm = perfmodel.New(g, cl, opts.Seed)
+	}
 	if userInit == nil && len(cl.Classes) > 0 {
 		// Heterogeneity-aware default start: on a mixed fleet the
 		// FLOPs-uniform Balanced split parks half the model on the slow
@@ -235,7 +260,23 @@ func SearchContext(ctx context.Context, g *model.Graph, cl hardware.Cluster, opt
 		for d := range scales {
 			scales[d] = cl.DeviceFLOPSScale(d, g.Precision)
 		}
-		opts.Initializer = config.CapacityBalanced(scales)
+		capInit := config.CapacityBalanced(scales)
+		if risk != nil {
+			// Spot capacity: bias the start so high-hazard devices
+			// carry dp-replicated, cheap-to-reshard work. The bias is a
+			// hint, not a commitment: each pipeline starts from whichever
+			// of the hazard-biased and the plain capacity candidates the
+			// risk objective prices cheaper, so a discount that lands the
+			// biased split in a bad basin never strands the search.
+			hazards := make([]float64, cl.TotalDevices())
+			for d := range hazards {
+				hazards[d] = cl.DeviceHazard(d)
+			}
+			opts.Initializer = riskSeedInitializer(pm, risk,
+				config.RiskBalanced(scales, hazards), capInit)
+		} else {
+			opts.Initializer = capInit
+		}
 	}
 	start := time.Now()
 	deadline := start.Add(opts.TimeBudget)
@@ -244,11 +285,6 @@ func SearchContext(ctx context.Context, g *model.Graph, cl hardware.Cluster, opt
 	}
 	ctx, cancel := context.WithDeadline(ctx, deadline)
 	defer cancel()
-
-	pm := opts.Model
-	if pm == nil {
-		pm = perfmodel.New(g, cl, opts.Seed)
-	}
 	stageCounts := opts.StageCounts
 	if len(stageCounts) == 0 {
 		stageCounts = defaultStageCounts(cl.TotalDevices(), len(g.Ops))
@@ -329,6 +365,7 @@ func SearchContext(ctx context.Context, g *model.Graph, cl hardware.Cluster, opt
 			trace:    trace,
 			tracer:   opts.Tracer,
 			met:      met,
+			risk:     risk,
 		}
 		topK, iters, converged := s.run(init)
 		outs[wi] = workerOut{topK: topK, explored: s.explored, iterations: iters, converged: converged}
@@ -383,6 +420,9 @@ func SearchContext(ctx context.Context, g *model.Graph, cl hardware.Cluster, opt
 		return nil, fmt.Errorf("core: search produced no candidates")
 	}
 	res.Best = res.TopK[0]
+	if risk != nil && res.Best.Estimate != nil && res.Best.Estimate.Feasible {
+		res.RecommendedCadence = risk.cadence(res.Best.Config, res.Best.Estimate.IterTime)
+	}
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
@@ -502,6 +542,10 @@ type searcher struct {
 	applyBufs  [2][]*config.Config
 	applyDepth int
 
+	// risk is the spot-capacity scoring model; nil on hazard-free
+	// clusters, where score() returns nominal iteration time.
+	risk *riskModel
+
 	// Observability (nil when disabled — every use is pointer-guarded
 	// so the tracing-off hot path pays only the nil checks).
 	tracer obs.Tracer
@@ -612,14 +656,20 @@ func (s *searcher) estimate(cfg *config.Config) *perfmodel.Estimate {
 }
 
 // score maps an estimate to a single comparable figure: iteration time
-// when feasible; a large penalty plus the memory excess otherwise so
-// that approaching feasibility still registers as progress. Non-finite
-// estimates (poisoned profiles that slipped past input validation)
-// collapse to a worst-possible finite score — NaN must never reach the
-// comparators, where every ordering test against it is false.
-func (s *searcher) score(e *perfmodel.Estimate) float64 {
+// when feasible (hazard-adjusted expected time on spot-capacity
+// clusters — the placement matters, hence the config argument); a
+// large penalty plus the memory excess otherwise so that approaching
+// feasibility still registers as progress. Non-finite estimates
+// (poisoned profiles that slipped past input validation) collapse to a
+// worst-possible finite score — NaN must never reach the comparators,
+// where every ordering test against it is false.
+func (s *searcher) score(cfg *config.Config, e *perfmodel.Estimate) float64 {
 	if e.Feasible {
-		if t := e.IterTime; t >= 0 && !math.IsInf(t, 0) && !math.IsNaN(t) {
+		t := e.IterTime
+		if s.risk != nil && t >= 0 && !math.IsInf(t, 0) && !math.IsNaN(t) {
+			t = s.risk.expected(cfg, t)
+		}
+		if t >= 0 && !math.IsInf(t, 0) && !math.IsNaN(t) {
 			return t
 		}
 		return infeasibleScore * poisonedPenalty
@@ -648,7 +698,7 @@ func (s *searcher) run(init *config.Config) ([]Candidate, int, bool) {
 	var topK []Candidate
 	record := func(cfg *config.Config) {
 		e := s.estimate(cfg)
-		sc := s.score(e)
+		sc := s.score(cfg, e)
 		if e.Feasible {
 			s.trace.observe(sc)
 		}
@@ -676,7 +726,7 @@ func (s *searcher) run(init *config.Config) ([]Candidate, int, bool) {
 			t0 = time.Now()
 		}
 		curEst := s.estimate(cur)
-		initScore := s.score(curEst)
+		initScore := s.score(cur, curEst)
 
 		var found *config.Config
 		var prim string
@@ -879,7 +929,7 @@ func (s *searcher) multiHop(cfg *config.Config, est *perfmodel.Estimate, bn Bott
 					pc.Inc()
 				}
 				e := s.estimate(c)
-				sc := s.score(e)
+				sc := s.score(c, e)
 				if e.Feasible {
 					s.trace.observe(sc)
 				}

@@ -1,0 +1,72 @@
+package diffcheck
+
+// Satellite property tests for the spot rework model: monotonicity is
+// re-derived over randomized (hazard, cadence, recovery, checkpoint)
+// tuples whose iteration times come from the shared RandomTuple
+// generator — the same corpus the differential runs use, so the risk
+// model is exercised over realistic plan timings, not synthetic ones.
+
+import (
+	"math/rand"
+	"testing"
+
+	"aceso/internal/perfmodel"
+)
+
+func TestReworkMonotoneProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	trials := 0
+	for trials < 300 {
+		tup := RandomTuple(rng)
+		pm, cfg, err := tup.Build()
+		if err != nil {
+			t.Fatalf("generator emitted unbuildable tuple: %v", err)
+		}
+		est := pm.Estimate(cfg)
+		iterTime := est.IterTime
+		if iterTime <= 0 {
+			continue // infeasible tuple: no meaningful iteration time
+		}
+		trials++
+
+		lam := rng.Float64() * 0.05 // reclaims/second, generously high
+		cadence := 1 + rng.Intn(64)
+		recovery := rng.Float64() * 20 * iterTime
+		ckpt := rng.Float64() * 2 * iterTime
+
+		rw := perfmodel.Rework(lam, cadence, iterTime, recovery)
+		if rw < 1 {
+			t.Fatalf("Rework(%v, %d, %v, %v) = %v < 1", lam, cadence, iterTime, recovery, rw)
+		}
+		exp := perfmodel.ExpectedIterTime(iterTime, lam, cadence, recovery, ckpt)
+		if exp < iterTime {
+			t.Fatalf("ExpectedIterTime %v < nominal %v (lam=%v k=%d rec=%v ck=%v)",
+				exp, iterTime, lam, cadence, recovery, ckpt)
+		}
+
+		// More hazard never shrinks the expected iteration time.
+		lam2 := lam + rng.Float64()*0.05
+		exp2 := perfmodel.ExpectedIterTime(iterTime, lam2, cadence, recovery, ckpt)
+		if exp2 < exp {
+			t.Fatalf("hazard monotonicity violated: lam %v→%v but expected %v→%v (k=%d rec=%v ck=%v iter=%v)",
+				lam, lam2, exp, exp2, cadence, recovery, ckpt, iterTime)
+		}
+
+		// A longer cadence never shrinks the rework factor: more
+		// un-checkpointed work is at risk per reclaim.
+		cadence2 := cadence + rng.Intn(64)
+		rw2 := perfmodel.Rework(lam, cadence2, iterTime, recovery)
+		if rw2 < rw {
+			t.Fatalf("cadence monotonicity violated: k %d→%d but rework %v→%v (lam=%v rec=%v iter=%v)",
+				cadence, cadence2, rw, rw2, lam, recovery, iterTime)
+		}
+
+		// The recommended cadence is always actionable: within [1, max].
+		max := 1 + rng.Intn(64)
+		k := perfmodel.RecommendedCadence(lam, iterTime, ckpt, max)
+		if k < 1 || k > max {
+			t.Fatalf("RecommendedCadence(%v, %v, %v, %d) = %d outside [1, %d]",
+				lam, iterTime, ckpt, max, k, max)
+		}
+	}
+}

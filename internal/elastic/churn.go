@@ -47,6 +47,16 @@ const (
 	// LinkDerate scales the cluster's link bandwidth to Scale
 	// (congestion, a flaky NIC). Scale 1 restores the healthy fabric.
 	LinkDerate
+	// PreemptNotice announces that Device will be reclaimed Notice
+	// iterations after Iteration — the advance warning spot capacity
+	// gives before a reclaim. The supervisor drains the device
+	// proactively: immediate checkpoint, pre-warmed replan on the
+	// post-reclaim fleet while the doomed device still serves, and a
+	// switchover timed so the final checkpoint completes inside the
+	// window — zero lost steps when Notice ≥ CheckpointCost. A window
+	// too short for a checkpoint falls back to the plain Preempt path
+	// (typed *NoticeMissedError).
+	PreemptNotice
 
 	numChurnKinds
 )
@@ -62,6 +72,8 @@ func (k ChurnKind) String() string {
 		return "slow-node"
 	case LinkDerate:
 		return "link-derate"
+	case PreemptNotice:
+		return "preempt-notice"
 	}
 	return fmt.Sprintf("churn-kind-%d", uint8(k))
 }
@@ -78,6 +90,9 @@ type ChurnEvent struct {
 	// Scale is the derate factor for SlowNode (FLOPS) and LinkDerate
 	// (bandwidth): (0, 1), with 1 meaning "restored".
 	Scale float64
+	// Notice is PreemptNotice's advance warning in iterations: the
+	// device is reclaimed at Iteration+Notice. Ignored by other kinds.
+	Notice int
 }
 
 // ChurnSpec is a schedule of churn events. Order does not matter;
@@ -108,6 +123,9 @@ func (s *ChurnSpec) Validate(totalDevices int) error {
 				return fmt.Errorf("elastic: event %d: scale %v outside (0, 1]", i, ev.Scale)
 			}
 		}
+		if ev.Kind == PreemptNotice && ev.Notice < 0 {
+			return fmt.Errorf("elastic: event %d: negative notice window %d", i, ev.Notice)
+		}
 	}
 	return nil
 }
@@ -129,6 +147,9 @@ const (
 	TransReplanForced   TransitionKind = "replan-forced"   // threshold or persistence forced a replan
 	TransReplanKept     TransitionKind = "replan-kept"     // forced replan found nothing better
 	TransBackoffRetry   TransitionKind = "backoff-retry"   // timeout retried after backoff
+	TransNotice         TransitionKind = "preempt-notice"  // advance reclaim warning received; drain armed
+	TransDrain          TransitionKind = "notice-drain"    // proactive switchover completed inside the window
+	TransNoticeMissed   TransitionKind = "notice-missed"   // window too short for a checkpoint; reclaim falls back to preempt
 )
 
 // Transition is one supervisor decision, stamped with the optimizer
@@ -151,6 +172,25 @@ type StalledError struct {
 func (e *StalledError) Error() string {
 	return fmt.Sprintf("elastic: training stalled at step %d: %d devices alive and no usable re-addition left in the churn schedule",
 		e.Step, e.Alive)
+}
+
+// NoticeMissedError reports a preempt notice whose window could not
+// absorb a checkpoint (Window < CheckpointCost): the proactive drain
+// is impossible and the reclaim falls back to the in-plan Preempt
+// path, where the partial segment at the deadline is lost. Recorded in
+// ChurnReport.NoticeMisses and counted in aceso_spot_* metrics rather
+// than returned — the supervisor still recovers.
+type NoticeMissedError struct {
+	Device   int
+	Window   int // iterations of advance warning the notice gave
+	Cost     int // configured checkpoint cost in iterations
+	Deadline int // absolute iteration the device is reclaimed at
+}
+
+// Error implements the error interface.
+func (e *NoticeMissedError) Error() string {
+	return fmt.Sprintf("elastic: preempt notice for device %d missed: %d-iteration window cannot absorb a %d-iteration checkpoint; reclaim at iteration %d falls back to the preempt path",
+		e.Device, e.Window, e.Cost, e.Deadline)
 }
 
 // SuperviseOptions tunes the churn supervisor. The embedded Options
@@ -183,6 +223,15 @@ type SuperviseOptions struct {
 	// runtime — a deterministic hook for exercising the backoff policy
 	// from tests and the chaos harness.
 	SimulateTimeouts int
+	// CheckpointCost is how many iterations' worth of time one
+	// checkpoint write occupies when racing a preempt notice's window:
+	// a PreemptNotice with Notice ≥ CheckpointCost drains proactively
+	// (the switchover fires CheckpointCost iterations before the
+	// deadline so the final checkpoint completes in time) with zero
+	// lost steps; a shorter window is a missed notice and the reclaim
+	// falls back to the in-plan Preempt path. Default 0: checkpoints
+	// are instantaneous and every window fits.
+	CheckpointCost int
 	// OnTransition, when non-nil, observes every supervisor transition
 	// as it happens (they are also collected in ChurnReport).
 	OnTransition func(Transition)
@@ -229,6 +278,17 @@ type ChurnReport struct {
 	StepsLost          int
 	// FinalCadence is the adaptive checkpoint cadence at exit.
 	FinalCadence int
+	// Notices counts preempt notices received; CleanDrains the
+	// notice-driven drains completed with zero lost steps (proactive
+	// switchover or idle reclaim inside the window); NoticesMissed the
+	// notices whose window could not absorb a checkpoint, so the
+	// reclaim fell back to the Preempt path.
+	Notices       int
+	CleanDrains   int
+	NoticesMissed int
+	// NoticeMisses holds the typed error recorded for each missed
+	// notice, in schedule order.
+	NoticeMisses []*NoticeMissedError
 	// Transitions is the full supervisor decision log.
 	Transitions []Transition
 }
@@ -272,6 +332,10 @@ type churnMeters struct {
 	pauses         *obs.Counter
 	stepsLost      *obs.Counter
 	recovery       *obs.Timer
+	notices        *obs.Counter
+	cleanDrains    *obs.Counter
+	noticesMissed  *obs.Counter
+	prewarms       *obs.Counter
 }
 
 func newChurnMeters(reg *obs.Registry) *churnMeters {
@@ -288,6 +352,10 @@ func newChurnMeters(reg *obs.Registry) *churnMeters {
 		pauses:         reg.Counter(obs.ChurnPausesTotal),
 		stepsLost:      reg.Counter(obs.ChurnStepsLostTotal),
 		recovery:       reg.Timer(obs.ChurnRecovery),
+		notices:        reg.Counter(obs.SpotNoticesTotal),
+		cleanDrains:    reg.Counter(obs.SpotCleanDrainsTotal),
+		noticesMissed:  reg.Counter(obs.SpotNoticesMissedTotal),
+		prewarms:       reg.Counter(obs.SpotPrewarmReplansTotal),
 	}
 }
 
@@ -342,6 +410,30 @@ func (m *churnMeters) pause() {
 func (m *churnMeters) lost(n int) {
 	if m != nil {
 		m.stepsLost.Add(int64(n))
+	}
+}
+
+func (m *churnMeters) notice() {
+	if m != nil {
+		m.notices.Inc()
+	}
+}
+
+func (m *churnMeters) cleanDrain() {
+	if m != nil {
+		m.cleanDrains.Inc()
+	}
+}
+
+func (m *churnMeters) noticeMissed() {
+	if m != nil {
+		m.noticesMissed.Inc()
+	}
+}
+
+func (m *churnMeters) prewarm() {
+	if m != nil {
+		m.prewarms.Inc()
 	}
 }
 
@@ -524,6 +616,9 @@ func Supervise(ctx context.Context, g *model.Graph, cl hardware.Cluster, cfg *co
 	if opt.MaxCadence <= 0 {
 		opt.MaxCadence = 4
 	}
+	if opt.CheckpointCost < 0 {
+		opt.CheckpointCost = 0
+	}
 
 	m := newChurnMeters(opt.Metrics)
 	rep := &ChurnReport{
@@ -599,6 +694,14 @@ func Supervise(ctx context.Context, g *model.Graph, cl hardware.Cluster, cfg *co
 	inUse := func(phys int) bool {
 		l := logicalRank(&active, phys)
 		return l >= 0 && l < cur.TotalDevices()
+	}
+	// inPlanPreempt is the one definition of "this preempt event must
+	// fire mid-iteration through the runtime": the device is alive and
+	// the running plan actually spans it. The boundary-settle loop and
+	// the segment scheduler both consult it, so the two sites cannot
+	// drift.
+	inPlanPreempt := func(ev *ChurnEvent) bool {
+		return ev.Kind == Preempt && !fl.dead[ev.Device] && inUse(ev.Device)
 	}
 
 	// commit reshards the durable checkpoint onto next and makes it the
@@ -808,6 +911,19 @@ func Supervise(ctx context.Context, g *model.Graph, cl hardware.Cluster, cfg *co
 			}
 			emit(curP.Step, TransEvent, "links derated to %.2f bandwidth", ev.Scale)
 			return nil
+		case PreemptNotice:
+			// Only reached from pauseAndWait: the main loop routes
+			// notices through beginDrain instead. While paused no
+			// segment is running and the state is durably checkpointed,
+			// so there is nothing to drain — fold the reclaim directly.
+			if fl.dead[ev.Device] {
+				emit(curP.Step, TransEvent, "preempt-notice device %d (already dead)", ev.Device)
+				return nil
+			}
+			fl.dead[ev.Device] = true
+			delete(fl.slow, ev.Device)
+			emit(curP.Step, TransEvent, "preempt-notice device %d folded as immediate preempt while paused (%d alive)", ev.Device, fl.alive())
+			return syncActive()
 		}
 		return fmt.Errorf("elastic: unknown churn kind %d", uint8(ev.Kind))
 	}
@@ -888,6 +1004,194 @@ func Supervise(ctx context.Context, g *model.Graph, cl hardware.Cluster, cfg *co
 		return nil
 	}
 
+	// Pending notice-driven drains. The state machine per notice:
+	//
+	//	notice at I (window W, deadline D = I+W)
+	//	  ├─ W ≥ CheckpointCost: ARM — immediate out-of-cadence
+	//	  │    checkpoint + pre-warmed Replan on the post-reclaim fleet
+	//	  │    while the doomed device still serves; switchover fires at
+	//	  │    the boundary switchIter = D − CheckpointCost, so the
+	//	  │    final checkpoint completes inside the window → commit the
+	//	  │    pre-warmed plan (ladder fallback) with ZERO lost steps.
+	//	  └─ W < CheckpointCost: MISSED — record *NoticeMissedError and
+	//	       schedule a plain Preempt at D: the reclaim fires through
+	//	       the existing in-plan path (mid-segment fault, rollback,
+	//	       cadence adaptation, ladder).
+	//
+	// A real preempt of a drained device before its switchover cancels
+	// the drain (settleDrains drops dead devices).
+	type pendingDrain struct {
+		device     int
+		switchIter int            // absolute iteration the switchover fires at
+		deadline   int            // absolute iteration of the reclaim
+		window     int            // iterations of advance warning
+		plan       *config.Config // pre-warmed post-reclaim plan (nil: ladder fallback)
+	}
+	var drains []*pendingDrain
+
+	// insertEvent splices a synthetic event into the sorted schedule
+	// after every event at the same iteration (stable order).
+	insertEvent := func(ev ChurnEvent) {
+		at := len(events)
+		for i := ei; i < len(events); i++ {
+			if events[i].Iteration > ev.Iteration {
+				at = i
+				break
+			}
+		}
+		events = append(events, ChurnEvent{})
+		copy(events[at+1:], events[at:])
+		events[at] = ev
+	}
+
+	// beginDrain consumes one PreemptNotice at a boundary.
+	beginDrain := func(ev ChurnEvent) error {
+		rep.EventsApplied++
+		rep.EventCounts[ev.Kind.String()]++
+		m.event(ev.Kind)
+		if fl.dead[ev.Device] {
+			emit(curP.Step, TransEvent, "preempt-notice device %d (already dead)", ev.Device)
+			return nil
+		}
+		for _, d := range drains {
+			if d.device == ev.Device {
+				emit(curP.Step, TransEvent, "preempt-notice device %d (drain already armed for iteration %d)", ev.Device, d.switchIter)
+				return nil
+			}
+		}
+		rep.Notices++
+		m.notice()
+		deadline := ev.Iteration + ev.Notice
+		if ev.Notice < opt.CheckpointCost {
+			nm := &NoticeMissedError{Device: ev.Device, Window: ev.Notice, Cost: opt.CheckpointCost, Deadline: deadline}
+			rep.NoticesMissed++
+			m.noticeMissed()
+			rep.NoticeMisses = append(rep.NoticeMisses, nm)
+			emit(curP.Step, TransNoticeMissed, "%v", nm)
+			insertEvent(ChurnEvent{Iteration: deadline, Kind: Preempt, Device: ev.Device})
+			return nil
+		}
+		emit(curP.Step, TransNotice, "preempt notice for device %d: reclaim at iteration %d (%d-iteration window ≥ checkpoint cost %d); drain armed",
+			ev.Device, deadline, ev.Notice, opt.CheckpointCost)
+		// Immediate out-of-cadence checkpoint: even if the fleet churns
+		// again before the switchover, rollback reaches at most the
+		// notice, never past it.
+		if err := saveCkpt(); err != nil {
+			return err
+		}
+		// Pre-warm the replan on the post-reclaim fleet while the
+		// doomed device still serves; the switchover commits it without
+		// searching inside the window.
+		var plan *config.Config
+		if inUse(ev.Device) && fl.alive() > 1 {
+			fl.dead[ev.Device] = true
+			postSpec := fl.spec()
+			delete(fl.dead, ev.Device)
+			rep.Replans++
+			m.replan()
+			m.prewarm()
+			if res, rerr := core.Replan(ctx, g, fl.healthy, postSpec, cur, core.Options{
+				TimeBudget: opt.SearchBudget,
+				Seed:       opt.Seed,
+			}); rerr == nil {
+				if post, derr := fl.healthy.Degrade(postSpec); derr == nil {
+					plan = pickRunnable(g, post, res, curP)
+				}
+			}
+		}
+		drains = append(drains, &pendingDrain{
+			device:     ev.Device,
+			switchIter: deadline - opt.CheckpointCost,
+			deadline:   deadline,
+			window:     ev.Notice,
+			plan:       plan,
+		})
+		return nil
+	}
+
+	// fireSwitch executes one armed drain at its switchover boundary.
+	// The boundary checkpoint (saved after the last segment) plus the
+	// final save here mean commit rolls forward from the current step:
+	// zero lost steps by construction.
+	fireSwitch := func(d *pendingDrain) error {
+		if err := saveCkpt(); err != nil {
+			return err
+		}
+		began := time.Now()
+		wasInUse := inUse(d.device)
+		preT := estIterTime(g, &active, cur, opt.Seed)
+		fl.dead[d.device] = true
+		delete(fl.slow, d.device)
+		if err := syncActive(); err != nil {
+			return err
+		}
+		if !wasInUse {
+			rep.CleanDrains++
+			m.cleanDrain()
+			emit(curP.Step, TransDrain, "device %d drained at iteration %d (idle spare, %d alive)", d.device, done, fl.alive())
+			return nil
+		}
+		if fl.alive() > 0 && d.plan != nil && runnableOn(g, &active, d.plan, curP) {
+			arch := curP.Arch
+			if err := commit(d.plan, arch); err != nil {
+				return err
+			}
+			if err := saveCkpt(); err != nil { // re-anchor on the new layout
+				return err
+			}
+			rep.CleanDrains++
+			m.cleanDrain()
+			rep.Ladder["drain"]++
+			m.ladderCommit("drain")
+			rep.Recoveries = append(rep.Recoveries, time.Since(began))
+			m.recovered(time.Since(began))
+			emit(curP.Step, TransDrain, "device %d drained at iteration %d: switched to pre-warmed plan (%d devices, %d stages), zero lost steps",
+				d.device, done, cur.TotalDevices(), cur.NumStages())
+			return nil
+		}
+		// The pre-warmed plan no longer fits (the fleet churned since
+		// the notice) or never existed: recover down the ordinary
+		// ladder. The deadline checkpoint keeps the drain lossless.
+		recovered := false
+		if fl.alive() > 0 {
+			ok, lerr := ladder(preT)
+			if lerr != nil {
+				return lerr
+			}
+			recovered = ok
+		}
+		if recovered {
+			rep.CleanDrains++
+			m.cleanDrain()
+			rep.Recoveries = append(rep.Recoveries, time.Since(began))
+			m.recovered(time.Since(began))
+			emit(curP.Step, TransDrain, "device %d drained at iteration %d via ladder, zero lost steps", d.device, done)
+			return nil
+		}
+		emit(curP.Step, TransDrain, "device %d drained at iteration %d; no runnable plan on %d survivors — pausing", d.device, done, fl.alive())
+		return nil // the main loop's runnability check pauses
+	}
+
+	// settleDrains cancels drains of devices that died by other means
+	// and fires every drain whose switchover boundary has arrived.
+	settleDrains := func() error {
+		kept := drains[:0]
+		for _, d := range drains {
+			if fl.dead[d.device] {
+				continue // an unnoticed preempt got there first
+			}
+			if done < d.switchIter {
+				kept = append(kept, d)
+				continue
+			}
+			if err := fireSwitch(d); err != nil {
+				return err
+			}
+		}
+		drains = kept
+		return nil
+	}
+
 	// pauseAndWait consumes the remaining schedule while training is
 	// impossible, resuming at the first point the ladder finds a plan.
 	pauseAndWait := func() error {
@@ -930,10 +1234,17 @@ func Supervise(ctx context.Context, g *model.Graph, cl hardware.Cluster, cfg *co
 		// through the runtime below instead.
 		for ei < len(events) && events[ei].Iteration <= done {
 			ev := events[ei]
-			if ev.Kind == Preempt && !fl.dead[ev.Device] && inUse(ev.Device) {
+			if inPlanPreempt(&ev) {
 				break
 			}
 			ei++
+			if ev.Kind == PreemptNotice {
+				// Notices do not change the fleet; they arm a drain.
+				if err := beginDrain(ev); err != nil {
+					return rep, err
+				}
+				continue
+			}
 			before := active
 			if err := applyEvent(ev); err != nil {
 				return rep, err
@@ -944,6 +1255,9 @@ func Supervise(ctx context.Context, g *model.Graph, cl hardware.Cluster, cfg *co
 			if err := policy(before); err != nil {
 				return rep, err
 			}
+		}
+		if err := settleDrains(); err != nil {
+			return rep, err
 		}
 		if fl.alive() == 0 || !runnableOn(g, &active, cur, curP) {
 			began := time.Now()
@@ -961,12 +1275,19 @@ func Supervise(ctx context.Context, g *model.Graph, cl hardware.Cluster, cfg *co
 		if left := iters - done; left < seg {
 			seg = left
 		}
+		// Clip to the next drain switchover so its boundary checkpoint
+		// lands exactly CheckpointCost iterations before the deadline.
+		for _, d := range drains {
+			if s := d.switchIter - done; s > 0 && s < seg {
+				seg = s
+			}
+		}
 		var fp *runtime.FaultPlan
 		var faultEv *ChurnEvent
 		if ei < len(events) {
 			ev := events[ei]
 			d := ev.Iteration - done
-			if ev.Kind == Preempt && !fl.dead[ev.Device] && inUse(ev.Device) {
+			if inPlanPreempt(&ev) {
 				if d < 0 {
 					d = 0
 				}

@@ -148,3 +148,96 @@ func FuzzChurnEventsNeverPanic(f *testing.F) {
 		}
 	})
 }
+
+// FuzzPreemptNoticeNeverPanics pins the notice-drain state machine's
+// robustness contract: arbitrary notice/preempt interleavings with
+// arbitrary windows and checkpoint costs — duplicate notices, notices
+// for dead devices, deadlines past the end of the run, windows shorter
+// than the cost, notices racing unnoticed preempts — either run to a
+// coherent report or come back as a typed error. Never a panic: the
+// drain path exists precisely so reclaims stay survivable.
+func FuzzPreemptNoticeNeverPanics(f *testing.F) {
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{2, 4, 2, 2}, uint8(1))       // clean covered drain
+	f.Add([]byte{2, 4, 2, 0}, uint8(3))       // window < cost: missed
+	f.Add([]byte{1, 4, 3, 2, 2, 0, 3, 0}, uint8(1)) // notice then real preempt
+	f.Add([]byte{0, 4, 2, 7, 0, 4, 2, 7}, uint8(0)) // duplicate notices
+	f.Add([]byte{255, 4, 0, 255, 3, 4, 1, 1}, uint8(255)) // hostile corners
+
+	f.Fuzz(func(t *testing.T, data []byte, ckptCost uint8) {
+		g, err := model.MLP(2, 4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := config.Balanced(g, 2, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := hardware.DGX1V100(1).Restrict(2)
+
+		// Decode 4 bytes per event: iteration, kind selector (notice /
+		// preempt / readd), device, notice window — including negative
+		// windows and deadlines far past the end of the run.
+		var spec ChurnSpec
+		for i := 0; i+4 <= len(data) && len(spec.Events) < 12; i += 4 {
+			iter := int(data[i]) % 6
+			if data[i] == 255 {
+				iter = -1
+			}
+			kind := PreemptNotice
+			switch data[i+1] % 4 {
+			case 0:
+				kind = Preempt
+			case 1:
+				kind = Readd
+			}
+			notice := int(data[i+3]) % 9
+			if data[i+3] == 255 {
+				notice = -1
+			}
+			spec.Events = append(spec.Events, ChurnEvent{
+				Iteration: iter,
+				Kind:      kind,
+				Device:    int(data[i+2])%4 - 1,
+				Notice:    notice,
+			})
+		}
+
+		p := runtime.InitParams(g, 1)
+		p.Opt = runtime.Adam
+		x := tensor.New(4, 4)
+		y := tensor.New(4, 4)
+		for i := range x.Data {
+			x.Data[i] = float64(i%7) * 0.1
+			y.Data[i] = float64(i%5) * 0.1
+		}
+		opt := SuperviseOptions{
+			Options: Options{
+				LR:           0.05,
+				CommDeadline: 5 * time.Second,
+				SearchBudget: 10 * time.Millisecond,
+			},
+			BackoffBase:    time.Microsecond,
+			BackoffCap:     2 * time.Microsecond,
+			CheckpointCost: int(ckptCost) % 7,
+		}
+		rep, err := Supervise(context.Background(), g, cl, cfg, p, x, y, 4, spec, opt)
+		if err != nil {
+			return // typed rejection (invalid spec, stall, ...) is fine
+		}
+		if rep == nil || rep.FinalStep < 0 {
+			t.Fatalf("nil/absurd report without error: %+v", rep)
+		}
+		if rep.CleanDrains+rep.NoticesMissed > rep.Notices+rep.EventCounts["preempt-notice"] {
+			t.Fatalf("drain accounting exceeds notices: %+v", rep)
+		}
+		if len(rep.NoticeMisses) != rep.NoticesMissed {
+			t.Fatalf("NoticeMisses len %d != NoticesMissed %d", len(rep.NoticeMisses), rep.NoticesMissed)
+		}
+		for _, l := range rep.Losses {
+			if math.IsNaN(l) || math.IsInf(l, 0) {
+				t.Fatalf("non-finite loss %v in report", l)
+			}
+		}
+	})
+}

@@ -40,6 +40,17 @@ type DeviceClass struct {
 	InterBW  float64
 	IntraLat float64
 	InterLat float64
+
+	// Capacity marks the provisioning tier: Reserved (the zero value)
+	// devices stay up for the job's lifetime; Spot devices carry a
+	// preemption hazard and an advance reclaim notice. See spot.go.
+	Capacity Capacity
+	// HazardRate is the Poisson preemption rate of one Spot device,
+	// in expected preemptions per hour. Must be 0 on Reserved capacity.
+	HazardRate float64
+	// NoticeSeconds is the advance warning a Spot reclaim gives before
+	// the device disappears (0 = the device vanishes without notice).
+	NoticeSeconds float64
 }
 
 // PeakFLOPS returns the class's peak throughput for a precision.
@@ -152,6 +163,9 @@ func (c *Cluster) validateClasses() error {
 			return fmt.Errorf("hardware: class %d (%s): negative or non-finite link bandwidth override", i, d.Name)
 		case !finite(d.IntraLat) || !finite(d.InterLat) || d.IntraLat < 0 || d.InterLat < 0:
 			return fmt.Errorf("hardware: class %d (%s): negative or non-finite link latency override", i, d.Name)
+		}
+		if err := validateSpot(i, d); err != nil {
+			return err
 		}
 		// Envelope invariant: no class exceeds the scalar fields, so
 		// every class scale is a true derate in (0, 1].

@@ -67,6 +67,15 @@ const (
 	// _seconds_total and _count.
 	ChurnRecovery = "aceso_churn_recovery"
 
+	// Spot-capacity supervision (elastic.PreemptNotice drains): notices
+	// received, drains completed with zero lost steps, notices whose
+	// window could not absorb a checkpoint, and replans pre-warmed
+	// while the doomed device was still serving.
+	SpotNoticesTotal        = "aceso_spot_notices_total"
+	SpotCleanDrainsTotal    = "aceso_spot_clean_drains_total"
+	SpotNoticesMissedTotal  = "aceso_spot_notices_missed_total"
+	SpotPrewarmReplansTotal = "aceso_spot_prewarm_replans_total"
+
 	// Planner-as-a-service daemon (internal/planserver / cmd/acesod).
 	// Requests carry a `{code="..."}` label per HTTP status, cache hits
 	// a `{kind="exact"|"warm"}` label per hit class.

@@ -1,0 +1,87 @@
+package perfmodel
+
+import "math"
+
+// Risk model for spot/preemptible capacity. A plan running on devices
+// with a Poisson preemption hazard does not deliver its nominal
+// iteration time: each preemption costs a fixed recovery (replan +
+// reshard + restore) plus the re-execution of every step since the last
+// checkpoint — on average half a checkpoint interval. The planner
+// therefore optimizes the *expected* iteration time
+//
+//	ExpectedIterTime = IterTime × Rework(hazard, cadence, recovery)
+//	                 + checkpointCost / cadence
+//
+// and reports the cadence minimizing it (the Young–Daly optimum).
+// Hazard rates here are per *second* — callers convert from the
+// per-hour rates hardware.DeviceClass carries.
+
+// Rework returns the multiplicative inflation of iteration time under
+// a Poisson preemption hazard (events per second over the whole plan)
+// when checkpoints are taken every cadence iterations of iterTime
+// seconds and each preemption costs recovery seconds on top of the
+// lost work. Expected events per iteration are hazard·iterTime; each
+// costs recovery plus on average cadence·iterTime/2 of re-executed
+// steps, so
+//
+//	Rework = 1 + hazard·(recovery + cadence·iterTime/2)
+//
+// Hazard-free (or degenerate) inputs return exactly 1, and the factor
+// is monotone non-decreasing in hazard, cadence, iterTime and
+// recovery.
+func Rework(hazardPerSec float64, cadence int, iterTime, recovery float64) float64 {
+	if hazardPerSec <= 0 || iterTime <= 0 || !finite(hazardPerSec) {
+		return 1
+	}
+	if cadence < 1 {
+		cadence = 1
+	}
+	if recovery < 0 {
+		recovery = 0
+	}
+	return 1 + hazardPerSec*(recovery+0.5*float64(cadence)*iterTime)
+}
+
+// ExpectedIterTime returns the hazard-adjusted cost of one iteration:
+// the nominal iterTime inflated by Rework plus the amortized
+// checkpoint overhead ckptCost/cadence. With zero hazard and zero
+// checkpoint cost it returns iterTime exactly.
+func ExpectedIterTime(iterTime, hazardPerSec float64, cadence int, recovery, ckptCost float64) float64 {
+	if cadence < 1 {
+		cadence = 1
+	}
+	t := iterTime * Rework(hazardPerSec, cadence, iterTime, recovery)
+	if ckptCost > 0 {
+		t += ckptCost / float64(cadence)
+	}
+	return t
+}
+
+// RecommendedCadence returns the checkpoint cadence (iterations per
+// checkpoint) minimizing ExpectedIterTime: the Young–Daly optimal
+// interval τ* = sqrt(2·ckptCost/hazard) expressed in iterations and
+// clamped to [1, maxCadence]. Hazard-free plans checkpoint as rarely
+// as allowed (maxCadence); maxCadence ≤ 0 means uncapped.
+func RecommendedCadence(hazardPerSec, iterTime, ckptCost float64, maxCadence int) int {
+	if hazardPerSec <= 0 || iterTime <= 0 || !finite(hazardPerSec) {
+		if maxCadence > 0 {
+			return maxCadence
+		}
+		return 1
+	}
+	if ckptCost <= 0 {
+		return 1 // free checkpoints: take one every iteration
+	}
+	k := int(math.Round(math.Sqrt(2*ckptCost/hazardPerSec) / iterTime))
+	if k < 1 {
+		k = 1
+	}
+	if maxCadence > 0 && k > maxCadence {
+		k = maxCadence
+	}
+	return k
+}
+
+func finite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}

@@ -1,0 +1,76 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// Closed-form cases for the rework model.
+func TestReworkClosedForm(t *testing.T) {
+	cases := []struct {
+		name                       string
+		hazard                     float64
+		cadence                    int
+		iterTime, recovery, expect float64
+	}{
+		{"hazard-free", 0, 4, 2, 10, 1},
+		{"negative-hazard-clamps", -1, 4, 2, 10, 1},
+		{"zero-iter-time", 0.5, 4, 0, 10, 1},
+		// 1 + 0.01·(10 + 4·2/2) = 1 + 0.01·14 = 1.14
+		{"textbook", 0.01, 4, 2, 10, 1.14},
+		// recovery only: 1 + 0.1·(5 + 1·1/2) = 1.55
+		{"cadence-one", 0.1, 1, 1, 5, 1.55},
+		// cadence < 1 clamps to 1: same as above
+		{"cadence-zero-clamps", 0.1, 0, 1, 5, 1.55},
+		// negative recovery clamps to 0: 1 + 0.1·(0 + 2·1/2) = 1.1
+		{"negative-recovery-clamps", 0.1, 2, 1, -3, 1.1},
+	}
+	for _, c := range cases {
+		got := Rework(c.hazard, c.cadence, c.iterTime, c.recovery)
+		if math.Abs(got-c.expect) > 1e-12 {
+			t.Errorf("%s: Rework(%v, %d, %v, %v) = %v, want %v",
+				c.name, c.hazard, c.cadence, c.iterTime, c.recovery, got, c.expect)
+		}
+	}
+}
+
+func TestExpectedIterTimeClosedForm(t *testing.T) {
+	// No hazard, no checkpoint cost: identity.
+	if got := ExpectedIterTime(2, 0, 4, 10, 0); got != 2 {
+		t.Fatalf("hazard-free ExpectedIterTime = %v, want exactly 2", got)
+	}
+	// 2·1.14 + 1/4 = 2.53 (textbook Rework case plus amortized ckpt).
+	if got := ExpectedIterTime(2, 0.01, 4, 10, 1); math.Abs(got-2.53) > 1e-12 {
+		t.Fatalf("ExpectedIterTime = %v, want 2.53", got)
+	}
+	// cadence < 1 clamps to 1: 2·(1+0.01·(10+1)) + 1 = 3.22
+	if got := ExpectedIterTime(2, 0.01, 0, 10, 1); math.Abs(got-3.22) > 1e-12 {
+		t.Fatalf("ExpectedIterTime(cadence 0) = %v, want 3.22", got)
+	}
+}
+
+func TestRecommendedCadence(t *testing.T) {
+	// Young–Daly: τ* = sqrt(2·8/0.01) = 40 s → 20 iterations of 2 s.
+	if got := RecommendedCadence(0.01, 2, 8, 64); got != 20 {
+		t.Fatalf("RecommendedCadence = %d, want 20", got)
+	}
+	// Cap binds.
+	if got := RecommendedCadence(0.01, 2, 8, 4); got != 4 {
+		t.Fatalf("capped RecommendedCadence = %d, want 4", got)
+	}
+	// Hazard-free: checkpoint as rarely as allowed.
+	if got := RecommendedCadence(0, 2, 8, 16); got != 16 {
+		t.Fatalf("hazard-free RecommendedCadence = %d, want 16", got)
+	}
+	if got := RecommendedCadence(0, 2, 8, 0); got != 1 {
+		t.Fatalf("hazard-free uncapped RecommendedCadence = %d, want 1", got)
+	}
+	// Free checkpoints: every iteration.
+	if got := RecommendedCadence(0.5, 2, 0, 64); got != 1 {
+		t.Fatalf("free-checkpoint RecommendedCadence = %d, want 1", got)
+	}
+	// Very high hazard: floor at 1, never 0.
+	if got := RecommendedCadence(1e6, 2, 1e-9, 64); got != 1 {
+		t.Fatalf("high-hazard RecommendedCadence = %d, want 1", got)
+	}
+}

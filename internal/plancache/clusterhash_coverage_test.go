@@ -62,6 +62,11 @@ func TestClusterHashCoversEveryField(t *testing.T) {
 		"InterBW":     func(c *hardware.Cluster) { c.Classes[0].InterBW *= 0.5 },
 		"IntraLat":    func(c *hardware.Cluster) { c.Classes[0].IntraLat *= 0.5 },
 		"InterLat":    func(c *hardware.Cluster) { c.Classes[0].InterLat *= 0.5 },
+		"Capacity":    func(c *hardware.Cluster) { c.Classes[0].Capacity = hardware.Spot },
+		"HazardRate":  func(c *hardware.Cluster) { c.Classes[0].HazardRate = 0.5 },
+		"NoticeSeconds": func(c *hardware.Cluster) {
+			c.Classes[0].NoticeSeconds = 30
+		},
 	}
 	checkType(t, reflect.TypeOf(hardware.DeviceClass{}), classMuts)
 

@@ -294,6 +294,9 @@ func ClusterHash(c *hardware.Cluster) uint64 {
 		h.Float(d.InterBW)
 		h.Float(d.IntraLat)
 		h.Float(d.InterLat)
+		h.Int(int64(d.Capacity))
+		h.Float(d.HazardRate)
+		h.Float(d.NoticeSeconds)
 	}
 	h.Int(int64(len(c.NodeClass)))
 	for _, k := range c.NodeClass {

@@ -110,6 +110,14 @@ type DeviceClassSpec struct {
 	InterBW     float64 `json:"inter_bw,omitempty"`
 	IntraLat    float64 `json:"intra_lat,omitempty"`
 	InterLat    float64 `json:"inter_lat,omitempty"`
+	// Capacity is "reserved" (the default) or "spot". Spot classes may
+	// carry a preemption hazard (reclaims/hour/device) and an advance
+	// notice window; a cluster with any hazardous spot class is planned
+	// risk-aware (expected iteration time under the rework model) and
+	// the plan carries a recommended checkpoint cadence.
+	Capacity      string  `json:"capacity,omitempty"`
+	HazardPerHour float64 `json:"hazard_per_hour,omitempty"`
+	NoticeSeconds float64 `json:"notice_seconds,omitempty"`
 }
 
 // ClusterSpec describes the target cluster. Faults, when present,
@@ -178,6 +186,17 @@ func (c *ClusterSpec) Build() (hardware.Cluster, *hardware.FaultSpec, error) {
 				InterBW:     d.InterBW,
 				IntraLat:    d.IntraLat,
 				InterLat:    d.InterLat,
+			}
+			switch d.Capacity {
+			case "", "reserved":
+				classes[i].Capacity = hardware.Reserved
+			case "spot":
+				classes[i].Capacity = hardware.Spot
+				classes[i].HazardRate = d.HazardPerHour
+				classes[i].NoticeSeconds = d.NoticeSeconds
+			default:
+				return hardware.Cluster{}, nil, fmt.Errorf(
+					"planserver: cluster.classes[%d].capacity %q (want \"reserved\" or \"spot\")", i, d.Capacity)
 			}
 		}
 		// Mixed recomputes the scalar envelope from the classes, which
@@ -338,17 +357,22 @@ type Plan struct {
 	Explored        int            `json:"explored"`
 	Iterations      int            `json:"iterations"`
 	Partial         bool           `json:"partial"`
+	// RecommendedCadence is the Young–Daly checkpoint interval (in
+	// iterations) for the plan's expected iteration time under the
+	// cluster's preemption hazard; 0 on hazard-free clusters.
+	RecommendedCadence int `json:"recommended_cadence,omitempty"`
 }
 
 // buildPlan projects a search result onto the wire Plan.
 func buildPlan(res *core.Result) *Plan {
 	best := res.Best
 	p := &Plan{
-		Config:     best.Config,
-		Score:      best.Score,
-		Explored:   res.Explored,
-		Iterations: res.Iterations,
-		Partial:    res.Partial,
+		Config:             best.Config,
+		Score:              best.Score,
+		Explored:           res.Explored,
+		Iterations:         res.Iterations,
+		Partial:            res.Partial,
+		RecommendedCadence: res.RecommendedCadence,
 	}
 	if est := best.Estimate; est != nil {
 		p.IterTimeSeconds = est.IterTime

@@ -154,7 +154,9 @@ func (s *Server) endRequest() { s.inflight.Done() }
 func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	s.reg.Counter(fmt.Sprintf("%s{code=%q}", obs.ServeRequestsTotal, strconv.Itoa(code))).Inc()
 	resp := ErrorResponse{Error: fmt.Sprintf(format, args...)}
-	if code == http.StatusTooManyRequests {
+	// Both shed paths are retryable: 429 (backpressure) after roughly
+	// one search budget, 503 (draining) once a replacement is up.
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
 		resp.RetryAfterMS = int(s.cfg.DefaultBudget / time.Millisecond)
 		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.DefaultBudget + time.Second - 1) / time.Second)))
 	}
@@ -165,6 +167,7 @@ func (s *Server) writeError(w http.ResponseWriter, code int, format string, args
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.Draining() {
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.DefaultBudget+time.Second-1)/time.Second)))
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}

@@ -156,7 +156,11 @@ func TestBackpressureSheds429(t *testing.T) {
 	slow.NoCache = true
 
 	const n = 6
-	codes := make(chan int, n)
+	type shedResult struct {
+		code       int
+		retryAfter string
+	}
+	codes := make(chan shedResult, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
@@ -165,12 +169,12 @@ func TestBackpressureSheds429(t *testing.T) {
 			body, _ := json.Marshal(slow)
 			resp, err := http.Post(ts.URL+"/v1/plan", "application/json", bytes.NewReader(body))
 			if err != nil {
-				codes <- -1
+				codes <- shedResult{code: -1}
 				return
 			}
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
-			codes <- resp.StatusCode
+			codes <- shedResult{code: resp.StatusCode, retryAfter: resp.Header.Get("Retry-After")}
 		}()
 		time.Sleep(30 * time.Millisecond) // let earlier requests claim slot+queue
 	}
@@ -178,11 +182,14 @@ func TestBackpressureSheds429(t *testing.T) {
 	close(codes)
 	var ok, shed, other int
 	for c := range codes {
-		switch c {
+		switch c.code {
 		case http.StatusOK:
 			ok++
 		case http.StatusTooManyRequests:
 			shed++
+			if c.retryAfter == "" {
+				t.Error("429 response missing Retry-After header")
+			}
 		default:
 			other++
 		}
@@ -249,10 +256,14 @@ func TestGracefulDrainDropsNothing(t *testing.T) {
 		t.Fatalf("served %d + rejected %d != %d", served, rejected, n)
 	}
 
-	// Post-drain: new requests are rejected, health reports draining.
+	// Post-drain: new requests are rejected with a retry hint, health
+	// reports draining with the same hint.
 	resp, _ := postPlan(t, ts.URL, tinyRequest())
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("post-drain plan request: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("post-drain 503 missing Retry-After header")
 	}
 	hresp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
@@ -262,6 +273,9 @@ func TestGracefulDrainDropsNothing(t *testing.T) {
 	hresp.Body.Close()
 	if hresp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("post-drain healthz: status %d, want 503", hresp.StatusCode)
+	}
+	if hresp.Header.Get("Retry-After") == "" {
+		t.Error("post-drain healthz 503 missing Retry-After header")
 	}
 }
 
